@@ -1,0 +1,283 @@
+// Package bench holds the repository-level benchmark harness: one
+// benchmark per paper artifact (Fig. 2, Fig. 3, Table I, Fig. 4) at
+// reduced scale — the full-scale regeneration lives in
+// cmd/experiments — plus ablation benches for the design choices
+// DESIGN.md §5 calls out. Benchmarks report the experiment's headline
+// metric via b.ReportMetric, so `go test -bench=.` doubles as a
+// shape check.
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"ddosim/ddosim"
+	"ddosim/internal/hardware"
+)
+
+// benchConfig shrinks a paper configuration to benchmark scale.
+func benchConfig(devs int) ddosim.Config {
+	cfg := ddosim.DefaultConfig(devs)
+	cfg.SimDuration = 300 * ddosim.Second
+	cfg.AttackDuration = 30
+	cfg.RecruitTimeout = 60 * ddosim.Second
+	return cfg
+}
+
+func runOnce(b *testing.B, cfg ddosim.Config) *ddosim.Results {
+	b.Helper()
+	r, err := ddosim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFigure2 regenerates Fig. 2's sweep (received rate vs fleet
+// size × churn mode) at benchmark scale.
+func BenchmarkFigure2(b *testing.B) {
+	for _, devs := range []int{10, 30, 50} {
+		for _, mode := range []ddosim.ChurnMode{ddosim.ChurnNone, ddosim.ChurnStatic, ddosim.ChurnDynamic} {
+			name := modeName(mode) + "/devs-" + strconv.Itoa(devs)
+			b.Run(name, func(b *testing.B) {
+				var kbps float64
+				for i := 0; i < b.N; i++ {
+					cfg := benchConfig(devs)
+					cfg.Seed = int64(i + 1)
+					cfg.Churn = mode
+					kbps = runOnce(b, cfg).DReceivedKbps
+				}
+				b.ReportMetric(kbps, "D_received_kbps")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Fig. 3's duration sweep at benchmark
+// scale.
+func BenchmarkFigure3(b *testing.B) {
+	for _, devs := range []int{20, 40} {
+		for _, duration := range []int{30, 60, 120} {
+			b.Run("devs-"+strconv.Itoa(devs)+"/dur-"+strconv.Itoa(duration), func(b *testing.B) {
+				var kbps float64
+				for i := 0; i < b.N; i++ {
+					cfg := benchConfig(devs)
+					cfg.Seed = int64(i + 1)
+					cfg.AttackDuration = duration
+					kbps = runOnce(b, cfg).DReceivedKbps
+				}
+				b.ReportMetric(kbps, "D_received_kbps")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I's resource rows at benchmark
+// scale.
+func BenchmarkTable1(b *testing.B) {
+	for _, devs := range []int{20, 40, 70} {
+		b.Run("devs-"+strconv.Itoa(devs), func(b *testing.B) {
+			var pre, attack, secs float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(devs)
+				cfg.Seed = int64(i + 1)
+				u := runOnce(b, cfg).Usage
+				pre, attack, secs = u.PreAttackMemGB, u.AttackMemGB, u.AttackTimeSecs
+			}
+			b.ReportMetric(pre, "pre_attack_GB")
+			b.ReportMetric(attack, "attack_GB")
+			b.ReportMetric(secs, "attack_time_s")
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates the validation comparison at benchmark
+// scale: same devices on both substrates.
+func BenchmarkFigure4(b *testing.B) {
+	for _, devs := range []int{5, 12, 19} {
+		b.Run("devs-"+strconv.Itoa(devs), func(b *testing.B) {
+			var ddosimKbps, hwKbps float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(devs)
+				cfg.Seed = int64(i + 1)
+				s, err := ddosim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rates := make([]int64, 0, devs)
+				for _, d := range s.Devs() {
+					rates = append(rates, int64(d.Rate()))
+				}
+				r, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ddosimKbps = r.DReceivedKbps
+
+				hw := hardware.DefaultConfig(devs)
+				hw.Seed = int64(i + 1)
+				hw.AttackSecs = cfg.AttackDuration
+				hw.RatesBps = rates
+				hwKbps = hardware.Run(hw).AvgReceivedKbps
+			}
+			b.ReportMetric(ddosimKbps, "ddosim_kbps")
+			b.ReportMetric(hwKbps, "hardware_kbps")
+		})
+	}
+}
+
+// BenchmarkAblationQueueSize varies the drop-tail queue depth — the
+// source of Fig. 2's concavity under saturation.
+func BenchmarkAblationQueueSize(b *testing.B) {
+	for _, queue := range []int{10, 100, 1000} {
+		b.Run("queue-"+strconv.Itoa(queue), func(b *testing.B) {
+			var kbps float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(40)
+				cfg.Seed = int64(i + 1)
+				cfg.DevQueueLimit = queue
+				cfg.TServerDownlink = 5 * ddosim.Mbps // force saturation
+				kbps = runOnce(b, cfg).DReceivedKbps
+			}
+			b.ReportMetric(kbps, "D_received_kbps")
+		})
+	}
+}
+
+// BenchmarkAblationRamp toggles the host-task-queuing ramp — the
+// mechanism behind Fig. 3's duration effect. With the ramp off, the
+// duration effect disappears (short and long attacks average the
+// same).
+func BenchmarkAblationRamp(b *testing.B) {
+	for _, jitter := range []ddosim.Time{0, 150 * ddosim.Millisecond, 500 * ddosim.Millisecond} {
+		b.Run("jitter-"+strconv.Itoa(int(jitter/ddosim.Millisecond))+"ms", func(b *testing.B) {
+			var kbps float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(30)
+				cfg.Seed = int64(i + 1)
+				cfg.StartJitterPerDev = jitter
+				kbps = runOnce(b, cfg).DReceivedKbps
+			}
+			b.ReportMetric(kbps, "D_received_kbps")
+		})
+	}
+}
+
+// BenchmarkAblationDataRate compares the paper's 100–500 kbps uniform
+// range against a degenerate fixed-rate fleet.
+func BenchmarkAblationDataRate(b *testing.B) {
+	cases := []struct {
+		name     string
+		min, max ddosim.DataRate
+	}{
+		{"range-100-500k", 100 * ddosim.Kbps, 500 * ddosim.Kbps},
+		{"fixed-300k", 300 * ddosim.Kbps, 300 * ddosim.Kbps},
+		{"fixed-500k", 500 * ddosim.Kbps, 500 * ddosim.Kbps},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var kbps float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(30)
+				cfg.Seed = int64(i + 1)
+				cfg.MinDevRate, cfg.MaxDevRate = c.min, c.max
+				kbps = runOnce(b, cfg).DReceivedKbps
+			}
+			b.ReportMetric(kbps, "D_received_kbps")
+		})
+	}
+}
+
+// BenchmarkAblationChurnEpoch varies dynamic churn's re-evaluation
+// period around the paper's 20 s.
+func BenchmarkAblationChurnEpoch(b *testing.B) {
+	for _, epoch := range []ddosim.Time{10 * ddosim.Second, 20 * ddosim.Second, 40 * ddosim.Second} {
+		b.Run("epoch-"+strconv.Itoa(int(epoch/ddosim.Second))+"s", func(b *testing.B) {
+			var kbps float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(40)
+				cfg.Seed = int64(i + 1)
+				cfg.Churn = ddosim.ChurnDynamic
+				cfg.ChurnEpoch = epoch
+				kbps = runOnce(b, cfg).DReceivedKbps
+			}
+			b.ReportMetric(kbps, "D_received_kbps")
+		})
+	}
+}
+
+// BenchmarkAblationCanary sweeps the stack-protector deployment
+// fraction: recruitment (and thus attack magnitude) degrades linearly
+// with canary coverage.
+func BenchmarkAblationCanary(b *testing.B) {
+	for _, frac := range []float64{0, 0.5, 1.0} {
+		b.Run("canary-"+strconv.FormatFloat(frac, 'f', 1, 64), func(b *testing.B) {
+			var kbps float64
+			var infected int
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(20)
+				cfg.Seed = int64(i + 1)
+				cfg.CanaryFraction = frac
+				r := runOnce(b, cfg)
+				kbps, infected = r.DReceivedKbps, r.Infected
+			}
+			b.ReportMetric(kbps, "D_received_kbps")
+			b.ReportMetric(float64(infected), "infected")
+		})
+	}
+}
+
+// BenchmarkRecruitVectors compares time-to-recruitment cost of the
+// two vectors at equal fleet size.
+func BenchmarkRecruitVectors(b *testing.B) {
+	vectors := []struct {
+		name string
+		v    ddosim.RecruitVector
+	}{
+		{"memory-error", ddosim.VectorMemoryError},
+		{"credentials", ddosim.VectorCredentials},
+	}
+	for _, vec := range vectors {
+		b.Run(vec.name, func(b *testing.B) {
+			var infected int
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(10)
+				cfg.Seed = int64(i + 1)
+				cfg.Vector = vec.v
+				if vec.v == ddosim.VectorCredentials {
+					cfg.SimDuration = 600 * ddosim.Second
+					cfg.RecruitTimeout = 400 * ddosim.Second
+					cfg.ScanPeriod = ddosim.Second
+				}
+				infected = runOnce(b, cfg).Infected
+			}
+			b.ReportMetric(float64(infected), "infected")
+		})
+	}
+}
+
+// BenchmarkEndToEndKillChain measures the cost of one complete
+// build-exploit-infect-flood-measure cycle — the simulator's
+// fundamental unit of work.
+func BenchmarkEndToEndKillChain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(10)
+		cfg.Seed = int64(i + 1)
+		r := runOnce(b, cfg)
+		if r.Infected != 10 {
+			b.Fatalf("infected = %d", r.Infected)
+		}
+	}
+}
+
+func modeName(m ddosim.ChurnMode) string {
+	switch m {
+	case ddosim.ChurnNone:
+		return "none"
+	case ddosim.ChurnStatic:
+		return "static"
+	default:
+		return "dynamic"
+	}
+}

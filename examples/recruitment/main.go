@@ -1,0 +1,77 @@
+// Recruitment: the paper's R1 motivation made concrete. Recent IoT
+// security legislation pushes vendors toward reasonable credentials,
+// killing Mirai's classic dictionary vector — so attackers shift to
+// memory-error exploitation, which credential hygiene cannot stop.
+//
+// This example recruits the same fleet twice: once with the classic
+// credential vector (telnet scanning + dictionary), once with the
+// paper's memory-error vector (ROP against Connman/Dnsmasq CVEs),
+// across increasing credential hygiene.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ddosim/ddosim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "recruitment:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const devs = 24
+	fmt.Println("=== Recruitment vectors vs credential hygiene ===")
+	fmt.Println()
+	fmt.Printf("%-22s %12s %15s %14s\n", "scenario", "weak creds", "infection rate", "bots at order")
+
+	// The credential baseline at three hygiene levels.
+	for _, weak := range []float64{1.0, 0.5, 0.0} {
+		cfg := ddosim.DefaultConfig(devs)
+		cfg.Vector = ddosim.VectorCredentials
+		cfg.WeakCredFraction = weak
+		cfg.AttackDuration = 30
+		cfg.SimDuration = 900 * ddosim.Second
+		cfg.RecruitTimeout = 600 * ddosim.Second
+		cfg.ScanPeriod = ddosim.Second
+		r, err := ddosim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %11.0f%% %14.0f%% %14d\n",
+			"mirai dictionary", 100*weak, 100*r.InfectionRate(), r.BotsAtCommand)
+	}
+
+	// The memory-error vector: hygiene-independent.
+	cfg := ddosim.DefaultConfig(devs)
+	cfg.AttackDuration = 30
+	r, err := ddosim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %12s %14.0f%% %14d\n",
+		"memory error (ROP)", "n/a", 100*r.InfectionRate(), r.BotsAtCommand)
+
+	// …unless the vendor rebuilds with PIE, the actual countermeasure.
+	cfg = ddosim.DefaultConfig(devs)
+	cfg.AttackDuration = 30
+	cfg.Hardened = true
+	cfg.RandomProtections = false
+	r, err = ddosim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %12s %14.0f%% %14d\n",
+		"memory error vs PIE", "n/a", 100*r.InfectionRate(), r.BotsAtCommand)
+
+	fmt.Println()
+	fmt.Println("Reading: credential hygiene (the legislation scenario) starves the")
+	fmt.Println("dictionary vector but leaves memory-error recruitment at 100%. Only")
+	fmt.Println("rebuilding the daemons as PIE (with ASLR) breaks the ROP chain —")
+	fmt.Println("every exploit attempt then crashes the daemon instead.")
+	return nil
+}

@@ -1,0 +1,78 @@
+// Trafficanalysis: the measurement workflow the paper highlights —
+// "DDoSim enables the extraction of network traffic at any layer"
+// (§V-A). This example instruments TServer with a packet capture and
+// a per-flow monitor during an attack with mixed benign traffic, then
+// prints a Wireshark-style summary: top talkers, per-protocol volume,
+// and a per-second rate table suitable for ML dataset generation.
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+
+	"ddosim/ddosim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficanalysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := ddosim.DefaultConfig(25)
+	cfg.AttackDuration = 60
+	sim, err := ddosim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Instrumentation: capture the last 50k packets, monitor flows.
+	capture := ddosim.StartCapture(sim.TServer(), 50_000)
+	flows := ddosim.InstallFlowMonitor(sim.TServer())
+	if err := ddosim.InstallBenignClients(sim.Star(),
+		netip.AddrPortFrom(sim.TServer().Addr4(), 80), 5, "sensor"); err != nil {
+		return err
+	}
+
+	results, err := sim.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("=== Traffic analysis at TServer ===")
+	fmt.Println()
+	fmt.Printf("packets observed:  %d (capture kept %d, rolled %d)\n",
+		capture.Total(), len(capture.Entries()), capture.Dropped())
+	fmt.Printf("distinct flows:    %d\n", flows.FlowCount())
+	fmt.Printf("attack window:     %s for %d s, D_received %.1f kbps\n",
+		results.AttackIssuedAt, cfg.AttackDuration, results.DReceivedKbps)
+	fmt.Println()
+
+	fmt.Println("top talkers (by bytes):")
+	for i, talker := range flows.TopTalkers(8) {
+		fmt.Printf("  %2d. %-22s %-5s %8d pkts %12d bytes %10.1f kbps\n",
+			i+1, talker.Key.Src, talker.Key.Proto,
+			talker.Stats.Packets, talker.Stats.Bytes, talker.Stats.Rate())
+	}
+	fmt.Println()
+
+	// Per-second rate around the attack boundary: quiet, ramp,
+	// steady — the labeled windows an ML pipeline would train on.
+	from := int64(results.AttackIssuedAt/ddosim.Second) - 3
+	fmt.Println("per-second received rate around the attack start (kbps):")
+	series := sim.Sink().Series()
+	for sec := from; sec < from+12; sec++ {
+		marker := ""
+		if sec == from+3 {
+			marker = "  <- attack order"
+		}
+		fmt.Printf("  t=%4ds  %10.1f%s\n", sec, series.KbpsSeries(sec, sec+1)[0], marker)
+	}
+	fmt.Println()
+	fmt.Println("The same data is exportable as CSV via `ddosim -out` or the")
+	fmt.Println("internal/report package — the dataset-generation workflow of §V-A.")
+	return nil
+}

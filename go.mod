@@ -1,0 +1,3 @@
+module ddosim
+
+go 1.22

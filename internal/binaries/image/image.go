@@ -1,0 +1,115 @@
+// Package image catalogs the synthetic binary images of the IoT
+// daemons used in the experiment series. Each Program mirrors the
+// properties the exploit depends on in the real binaries: non-PIE
+// linking (typical of IoT builds), a known vulnerable stack buffer
+// size, and a harvestable set of ROP gadgets at fixed text offsets.
+// The attacker is assumed to possess these images and analyze them
+// offline, exactly as in §III-B of the paper.
+package image
+
+import "ddosim/internal/procvm"
+
+// Canonical gadget names the exploit builder searches for.
+const (
+	GadgetLeaRDIRSP = "lea_rdi_rsp_ret" // lea rdi,[rsp+K]; ret
+	GadgetExecShell = "exec_shell"      // execlp("sh","sh","-c",rdi,0)
+	GadgetPopRDI    = "pop_rdi_ret"
+	GadgetExit      = "sys_exit"
+)
+
+// Vulnerable stack buffer sizes (bytes), fixed by the respective CVEs'
+// code paths.
+const (
+	// ConnmanBufSize is the DNS-proxy hostname buffer overflowed by
+	// CVE-2017-12865.
+	ConnmanBufSize = 64
+	// DnsmasqBufSize is the DHCPv6 state buffer overflowed by
+	// CVE-2017-14493.
+	DnsmasqBufSize = 96
+)
+
+// Binary names as they appear in simulated ELF headers.
+const (
+	BinConnman = "connmand"
+	BinDnsmasq = "dnsmasq"
+	BinMirai   = "mirai"
+	BinBusybox = "busybox"
+	BinTelnetd = "telnetd"
+)
+
+// Architectures supported by the Buildx pipeline.
+var Architectures = []string{"x86_64", "arm7", "mips"}
+
+// Connman returns the program image of the vulnerable connmand 1.34
+// build (CVE-2017-12865). Non-PIE at the classic 0x400000 base.
+func Connman() *procvm.Program {
+	return &procvm.Program{
+		Name:     "connmand-1.34",
+		Arch:     "x86_64",
+		PIE:      false,
+		LinkBase: 0x400000,
+		TextSize: 0x9a000,
+		RetSite:  0x21b40, // dnsproxy.c uncompress() return site
+		Gadgets: map[uint64]procvm.Gadget{
+			0x18c20: {Name: GadgetExecShell, Ops: []procvm.Op{procvm.OpSysExecShell{}}},
+			0x21f3a: {Name: GadgetLeaRDIRSP, Ops: []procvm.Op{procvm.OpLeaStack{Reg: procvm.RDI, Off: 8}}},
+			0x0a3c1: {Name: GadgetPopRDI, Ops: []procvm.Op{procvm.OpPop{Reg: procvm.RDI}}},
+			0x05b10: {Name: GadgetExit, Ops: []procvm.Op{procvm.OpSysExit{}}},
+			0x33333: {Name: "misaligned_junk", Ops: []procvm.Op{procvm.OpCrash{}}},
+		},
+		SizeBytes: 712 * 1024,
+	}
+}
+
+// Dnsmasq returns the program image of the vulnerable dnsmasq 2.77
+// build (CVE-2017-14493). Distinct gadget offsets: a chain built for
+// Connman's layout crashes here, as it would in reality.
+func Dnsmasq() *procvm.Program {
+	return &procvm.Program{
+		Name:     "dnsmasq-2.77",
+		Arch:     "x86_64",
+		PIE:      false,
+		LinkBase: 0x400000,
+		TextSize: 0x6e000,
+		RetSite:  0x153c8, // rfc3315.c dhcp6_maybe_relay() return site
+		Gadgets: map[uint64]procvm.Gadget{
+			0x0f411: {Name: GadgetExecShell, Ops: []procvm.Op{procvm.OpSysExecShell{}}},
+			0x2a9e6: {Name: GadgetLeaRDIRSP, Ops: []procvm.Op{procvm.OpLeaStack{Reg: procvm.RDI, Off: 16}}},
+			0x1c054: {Name: GadgetPopRDI, Ops: []procvm.Op{procvm.OpPop{Reg: procvm.RDI}}},
+			0x03d92: {Name: GadgetExit, Ops: []procvm.Op{procvm.OpSysExit{}}},
+			0x41414: {Name: "misaligned_junk", Ops: []procvm.Op{procvm.OpCrash{}}},
+		},
+		SizeBytes: 389 * 1024,
+	}
+}
+
+// HardenedConnman returns a PIE rebuild of connmand — what a vendor
+// that actually recompiles with modern defaults would ship. Used by
+// the defense experiments to show ASLR+PIE stopping the chain.
+func HardenedConnman() *procvm.Program {
+	p := Connman()
+	p.Name = "connmand-1.34-pie"
+	p.PIE = true
+	return p
+}
+
+// HardenedDnsmasq returns a PIE rebuild of dnsmasq.
+func HardenedDnsmasq() *procvm.Program {
+	p := Dnsmasq()
+	p.Name = "dnsmasq-2.77-pie"
+	p.PIE = true
+	return p
+}
+
+// ByName resolves a program by its binary name. ok=false for unknown
+// or VM-less binaries (e.g. mirai, whose behaviour is native).
+func ByName(name string) (*procvm.Program, bool) {
+	switch name {
+	case BinConnman:
+		return Connman(), true
+	case BinDnsmasq:
+		return Dnsmasq(), true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,98 @@
+package image
+
+import (
+	"testing"
+
+	"ddosim/internal/procvm"
+)
+
+func TestCatalogInvariants(t *testing.T) {
+	for _, prog := range []*procvm.Program{Connman(), Dnsmasq()} {
+		if prog.PIE {
+			t.Errorf("%s: stock IoT builds must be non-PIE", prog.Name)
+		}
+		if prog.LinkBase == 0 || prog.TextSize == 0 {
+			t.Errorf("%s: missing layout", prog.Name)
+		}
+		if prog.RetSite == 0 || prog.RetSite >= prog.TextSize {
+			t.Errorf("%s: ret site %#x outside text", prog.Name, prog.RetSite)
+		}
+		for off, g := range prog.Gadgets {
+			if off >= prog.TextSize {
+				t.Errorf("%s: gadget %q at %#x outside text (%#x)", prog.Name, g.Name, off, prog.TextSize)
+			}
+			if len(g.Ops) == 0 {
+				t.Errorf("%s: gadget %q has no ops", prog.Name, g.Name)
+			}
+		}
+		for _, want := range []string{GadgetLeaRDIRSP, GadgetExecShell, GadgetPopRDI, GadgetExit} {
+			if _, ok := prog.GadgetOffset(want); !ok {
+				t.Errorf("%s: missing gadget %q", prog.Name, want)
+			}
+		}
+		if prog.SizeBytes <= 0 {
+			t.Errorf("%s: zero size", prog.Name)
+		}
+	}
+}
+
+func TestGadgetOffsetsDifferAcrossBinaries(t *testing.T) {
+	// Cross-binary chains must not work by accident: the critical
+	// gadgets must live at different offsets.
+	c, d := Connman(), Dnsmasq()
+	for _, name := range []string{GadgetLeaRDIRSP, GadgetExecShell} {
+		co, _ := c.GadgetOffset(name)
+		do, _ := d.GadgetOffset(name)
+		if co == do {
+			t.Errorf("gadget %q at identical offset %#x in both binaries", name, co)
+		}
+	}
+}
+
+func TestHardenedVariants(t *testing.T) {
+	hc, hd := HardenedConnman(), HardenedDnsmasq()
+	if !hc.PIE || !hd.PIE {
+		t.Fatal("hardened builds not PIE")
+	}
+	// Hardening must not mutate the stock catalog entries.
+	if Connman().PIE || Dnsmasq().PIE {
+		t.Fatal("hardening mutated the stock programs")
+	}
+	if hc.Name == Connman().Name {
+		t.Fatal("hardened build shares the stock name")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if p, ok := ByName(BinConnman); !ok || p.Name != "connmand-1.34" {
+		t.Fatalf("ByName(connman) = %v %v", p, ok)
+	}
+	if p, ok := ByName(BinDnsmasq); !ok || p.Name != "dnsmasq-2.77" {
+		t.Fatalf("ByName(dnsmasq) = %v %v", p, ok)
+	}
+	if _, ok := ByName("unknown"); ok {
+		t.Fatal("unknown binary resolved")
+	}
+}
+
+func TestBufferSizes(t *testing.T) {
+	if ConnmanBufSize != 64 || DnsmasqBufSize != 96 {
+		t.Fatalf("buffer sizes = %d/%d", ConnmanBufSize, DnsmasqBufSize)
+	}
+}
+
+func TestArchitecturesListed(t *testing.T) {
+	if len(Architectures) < 3 {
+		t.Fatalf("architectures = %v", Architectures)
+	}
+	seen := map[string]bool{}
+	for _, a := range Architectures {
+		if seen[a] {
+			t.Fatalf("duplicate arch %q", a)
+		}
+		seen[a] = true
+	}
+	if !seen["x86_64"] {
+		t.Fatal("x86_64 missing (the experiment series uses it exclusively)")
+	}
+}

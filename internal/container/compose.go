@@ -1,0 +1,100 @@
+package container
+
+import (
+	"fmt"
+
+	"ddosim/internal/netsim"
+	"ddosim/internal/sim"
+)
+
+// NS3DockerEmulator drives its fleets through docker-compose; this
+// file provides the equivalent: a declarative deployment spec that
+// creates, configures, and starts groups of containers in one call.
+
+// ServiceSpec describes one service: an image, a replica count, and
+// the per-replica network attachment.
+type ServiceSpec struct {
+	// Name prefixes replica container names: name-001, name-002, ...
+	// A single replica is named exactly Name.
+	Name string
+	// ImageRef selects the registered image.
+	ImageRef string
+	// Replicas defaults to 1.
+	Replicas int
+	// Link is the network attachment; RateFor (optional) overrides
+	// Link.Rate per replica (e.g. to sample the 100–500 kbps range).
+	Link    LinkConfig
+	RateFor func(replica int) netsim.DataRate
+	// Files are written into each container after creation (e.g.
+	// /etc/resolv.conf).
+	Files map[string][]byte
+	// Setup (optional) runs for each container after Start — the
+	// place to spawn non-entrypoint processes.
+	Setup func(c *Container, replica int) error
+}
+
+// Deployment is a set of services deployed together.
+type Deployment struct {
+	Services []ServiceSpec
+}
+
+// Deploy creates and starts every service, returning the containers
+// grouped by service name. On any error the partially-created
+// containers are stopped.
+func (d Deployment) Deploy(e *Engine) (map[string][]*Container, error) {
+	out := make(map[string][]*Container, len(d.Services))
+	var created []*Container
+	fail := func(err error) (map[string][]*Container, error) {
+		for _, c := range created {
+			c.Stop()
+		}
+		return nil, err
+	}
+	for _, svc := range d.Services {
+		replicas := svc.Replicas
+		if replicas <= 0 {
+			replicas = 1
+		}
+		if svc.Name == "" {
+			return fail(fmt.Errorf("container: compose: service without a name"))
+		}
+		for i := 1; i <= replicas; i++ {
+			name := svc.Name
+			if replicas > 1 {
+				name = fmt.Sprintf("%s-%03d", svc.Name, i)
+			}
+			link := svc.Link
+			if svc.RateFor != nil {
+				link.Rate = svc.RateFor(i)
+			}
+			c, err := e.Create(svc.ImageRef, name, link)
+			if err != nil {
+				return fail(fmt.Errorf("container: compose: %s: %w", name, err))
+			}
+			created = append(created, c)
+			for path, data := range svc.Files {
+				c.FS().Write(path, data)
+			}
+			if err := c.Start(); err != nil {
+				return fail(fmt.Errorf("container: compose: %s: %w", name, err))
+			}
+			if svc.Setup != nil {
+				if err := svc.Setup(c, i); err != nil {
+					return fail(fmt.Errorf("container: compose: %s setup: %w", name, err))
+				}
+			}
+			out[svc.Name] = append(out[svc.Name], c)
+		}
+	}
+	return out, nil
+}
+
+// DefaultDevLink is the paper's Dev attachment: 100–500 kbps sampled
+// per replica, 2 ms delay. Use it as ServiceSpec.RateFor with the
+// scheduler's RNG.
+func DefaultDevLink(sched *sim.Scheduler) func(int) netsim.DataRate {
+	return func(int) netsim.DataRate {
+		return 100*netsim.Kbps +
+			netsim.DataRate(sched.RNG().Int63n(int64(400*netsim.Kbps)+1))
+	}
+}

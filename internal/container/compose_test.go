@@ -1,0 +1,90 @@
+package container
+
+import (
+	"testing"
+
+	"ddosim/internal/netsim"
+	"ddosim/internal/sim"
+)
+
+func TestDeployReplicas(t *testing.T) {
+	r := newRig(t)
+	r.engine.RegisterBinary("testd", func(args []string) Behavior { return &stubBehavior{name: "testd"} })
+	r.engine.RegisterImage(devImage("x86_64"))
+
+	setups := 0
+	dep := Deployment{Services: []ServiceSpec{
+		{
+			Name:     "dev",
+			ImageRef: "ddosim/dev-test:1.0",
+			Replicas: 5,
+			Link:     LinkConfig{Rate: netsim.Mbps, Delay: sim.Millisecond},
+			RateFor:  DefaultDevLink(r.sched),
+			Files:    map[string][]byte{"/etc/resolv.conf": []byte("nameserver 10.0.0.1\n")},
+			Setup: func(c *Container, replica int) error {
+				setups++
+				return nil
+			},
+		},
+		{
+			Name:     "tserver-proxy",
+			ImageRef: "ddosim/dev-test:1.0",
+			Link:     LinkConfig{Rate: 10 * netsim.Mbps, Delay: sim.Millisecond},
+		},
+	}}
+	got, err := dep.Deploy(r.engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["dev"]) != 5 || len(got["tserver-proxy"]) != 1 {
+		t.Fatalf("groups = %d/%d", len(got["dev"]), len(got["tserver-proxy"]))
+	}
+	if setups != 5 {
+		t.Fatalf("setups = %d", setups)
+	}
+	if got["dev"][0].Name() != "dev-001" || got["tserver-proxy"][0].Name() != "tserver-proxy" {
+		t.Fatalf("names = %q %q", got["dev"][0].Name(), got["tserver-proxy"][0].Name())
+	}
+	for _, c := range got["dev"] {
+		if !c.Running() {
+			t.Fatalf("%s not running", c.Name())
+		}
+		if data, ok := c.FS().Read("/etc/resolv.conf"); !ok || len(data) == 0 {
+			t.Fatalf("%s missing provisioned file", c.Name())
+		}
+		rate := c.Node().DefaultDevice().Rate()
+		if rate < 100*netsim.Kbps || rate > 500*netsim.Kbps {
+			t.Fatalf("%s rate %v outside the Dev range", c.Name(), rate)
+		}
+	}
+}
+
+func TestDeployRollsBackOnError(t *testing.T) {
+	r := newRig(t)
+	r.engine.RegisterBinary("testd", func(args []string) Behavior { return &stubBehavior{name: "testd"} })
+	r.engine.RegisterImage(devImage("x86_64"))
+	dep := Deployment{Services: []ServiceSpec{
+		{Name: "ok", ImageRef: "ddosim/dev-test:1.0", Replicas: 2,
+			Link: LinkConfig{Rate: netsim.Mbps}},
+		{Name: "broken", ImageRef: "missing:tag",
+			Link: LinkConfig{Rate: netsim.Mbps}},
+	}}
+	if _, err := dep.Deploy(r.engine); err == nil {
+		t.Fatal("missing image accepted")
+	}
+	// The successfully-created containers were stopped.
+	for _, c := range r.engine.Containers() {
+		if c.Running() {
+			t.Fatalf("%s still running after rollback", c.Name())
+		}
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	r := newRig(t)
+	r.engine.RegisterImage(devImage("x86_64"))
+	dep := Deployment{Services: []ServiceSpec{{ImageRef: "ddosim/dev-test:1.0", Link: LinkConfig{Rate: netsim.Mbps}}}}
+	if _, err := dep.Deploy(r.engine); err == nil {
+		t.Fatal("unnamed service accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Package container is DDoSim's stand-in for Docker and
+// NS3DockerEmulator's container plumbing: images (with Buildx-style
+// multi-arch variants), containers with an in-memory filesystem and a
+// process table, a small POSIX-ish shell (curl, chmod, rm, binary
+// execution) and the veth/TapBridge-style attachment of each
+// container's eth0 to a ghost node in the simulated network.
+package container
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// File is a filesystem entry.
+type File struct {
+	Data []byte
+	Exec bool
+}
+
+// FS is a flat in-memory filesystem keyed by absolute path.
+type FS struct {
+	files map[string]*File
+}
+
+// NewFS returns an empty filesystem.
+func NewFS() *FS { return &FS{files: make(map[string]*File)} }
+
+// Write creates or replaces a file.
+func (fs *FS) Write(path string, data []byte) {
+	fs.files[clean(path)] = &File{Data: data}
+}
+
+// Read returns a file's contents.
+func (fs *FS) Read(path string) ([]byte, bool) {
+	f, ok := fs.files[clean(path)]
+	if !ok {
+		return nil, false
+	}
+	return f.Data, true
+}
+
+// Chmod sets or clears the execute bit. It fails on missing files.
+func (fs *FS) Chmod(path string, exec bool) error {
+	f, ok := fs.files[clean(path)]
+	if !ok {
+		return fmt.Errorf("container: chmod %s: no such file", path)
+	}
+	f.Exec = exec
+	return nil
+}
+
+// IsExec reports whether the file exists with its execute bit set.
+func (fs *FS) IsExec(path string) bool {
+	f, ok := fs.files[clean(path)]
+	return ok && f.Exec
+}
+
+// Remove deletes a file. It fails on missing files.
+func (fs *FS) Remove(path string) error {
+	p := clean(path)
+	if _, ok := fs.files[p]; !ok {
+		return fmt.Errorf("container: rm %s: no such file", path)
+	}
+	delete(fs.files, p)
+	return nil
+}
+
+// Exists reports whether a path is present.
+func (fs *FS) Exists(path string) bool {
+	_, ok := fs.files[clean(path)]
+	return ok
+}
+
+// List returns all paths in sorted order.
+func (fs *FS) List() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes reports the sum of file sizes, used by the memory model.
+func (fs *FS) TotalBytes() int {
+	n := 0
+	for _, f := range fs.files {
+		n += len(f.Data)
+	}
+	return n
+}
+
+func clean(path string) string {
+	path = strings.TrimSpace(path)
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return path
+}

@@ -1,0 +1,110 @@
+package container
+
+import (
+	"fmt"
+	"strings"
+
+	"ddosim/internal/procvm"
+)
+
+// Image is a container image: a filesystem snapshot, an entrypoint,
+// and optionally the procvm program of the network-facing daemon the
+// image exists to run.
+type Image struct {
+	// Name and Tag identify the image, e.g. "ddosim/dev-connman:1.34".
+	Name string
+	Tag  string
+	// Arch is the instruction-set the image was built for. Docker
+	// Buildx in the paper produces per-arch Dev images; BuildMultiArch
+	// does the same here.
+	Arch string
+	// Files is the image filesystem; ExecPaths marks executables.
+	Files     map[string][]byte
+	ExecPaths map[string]bool
+	// Entrypoint is the command started when a container boots.
+	Entrypoint []string
+	// Program is the binary image of the daemon for procvm-backed
+	// behaviours; attackers analyze it to build ROP chains.
+	Program *procvm.Program
+	// ExtraBytes models image weight beyond Files (shared libraries,
+	// busybox, etc.) for the Table I memory model.
+	ExtraBytes int
+}
+
+// Ref renders name:tag.
+func (im *Image) Ref() string { return im.Name + ":" + im.Tag }
+
+// SizeBytes reports the image's total size.
+func (im *Image) SizeBytes() int {
+	n := im.ExtraBytes
+	for _, data := range im.Files {
+		n += len(data)
+	}
+	return n
+}
+
+// Clone deep-copies the image (Buildx uses this for per-arch builds).
+func (im *Image) Clone() *Image {
+	cp := *im
+	cp.Files = make(map[string][]byte, len(im.Files))
+	for p, d := range im.Files {
+		cp.Files[p] = append([]byte(nil), d...)
+	}
+	cp.ExecPaths = make(map[string]bool, len(im.ExecPaths))
+	for p, x := range im.ExecPaths {
+		cp.ExecPaths[p] = x
+	}
+	cp.Entrypoint = append([]string(nil), im.Entrypoint...)
+	return &cp
+}
+
+// BinaryContent renders the canonical content of a simulated compiled
+// binary. The shell's exec path parses this tag to select the
+// registered behaviour, and refuses to run a binary whose arch does
+// not match the container — the reason Mirai's loader must download
+// the arch-matching build.
+func BinaryContent(name, arch string) []byte {
+	return []byte("ELF:" + name + ":" + arch)
+}
+
+// ParseBinary inverts BinaryContent. ok=false means the file is not a
+// recognized executable format.
+func ParseBinary(data []byte) (name, arch string, ok bool) {
+	s := string(data)
+	if !strings.HasPrefix(s, "ELF:") {
+		return "", "", false
+	}
+	head, _, _ := strings.Cut(s, "\n")
+	parts := strings.Split(head, ":")
+	if len(parts) != 3 || parts[1] == "" || parts[2] == "" {
+		return "", "", false
+	}
+	return parts[1], parts[2], true
+}
+
+// BuildMultiArch is the Docker Buildx substitute: it produces one
+// image per requested architecture, rewriting every simulated binary
+// in the filesystem for that arch.
+func BuildMultiArch(base *Image, archs []string) (map[string]*Image, error) {
+	if len(archs) == 0 {
+		return nil, fmt.Errorf("container: buildx: no architectures requested")
+	}
+	out := make(map[string]*Image, len(archs))
+	for _, arch := range archs {
+		img := base.Clone()
+		img.Arch = arch
+		img.Tag = base.Tag + "-" + arch
+		for path, data := range img.Files {
+			if name, _, ok := ParseBinary(data); ok {
+				img.Files[path] = BinaryContent(name, arch)
+			}
+		}
+		if img.Program != nil {
+			prog := *img.Program
+			prog.Arch = arch
+			img.Program = &prog
+		}
+		out[arch] = img
+	}
+	return out, nil
+}

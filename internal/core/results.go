@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ddosim/internal/metrics"
+	"ddosim/internal/netsim"
+	"ddosim/internal/resources"
+	"ddosim/internal/sim"
+)
+
+// Timeline event kinds recorded during a run.
+const (
+	EventExploitHit   = "exploit-hit"    // daemon hijacked, shell executed
+	EventExploitCrash = "exploit-crash"  // daemon crashed (defenses held)
+	EventBotJoined    = "bot-registered" // bot completed C&C registration
+	EventBotLost      = "bot-lost"       // C&C dropped a bot
+	EventAttackOrder  = "attack-order"   // C&C broadcast the command
+	EventFloodStart   = "flood-start"    // a bot's first flood packet
+	EventChurnOffline = "churn-offline"
+	EventChurnOnline  = "churn-online"
+	// EventLoaded marks a credential-vector infection: the loader
+	// pushed the bot through a brute-forced telnet session.
+	EventLoaded = "bot-loaded"
+)
+
+// Results collects everything a run measured.
+type Results struct {
+	// DevsTotal is the configured fleet size.
+	DevsTotal int
+
+	// ExploitAttempts counts parses of attacker payloads by Dev
+	// daemons; Hijacked of those overwrote a return address;
+	// Infected of those executed the infection shell; Crashed of
+	// those faulted (defenses held or chain mismatched).
+	ExploitAttempts int
+	Hijacked        int
+	Infected        int
+	Crashed         int
+
+	// BotsRegistered is the count of distinct Devs that completed C&C
+	// registration at least once; BotsAtCommand is how many received
+	// the attack order.
+	BotsRegistered int
+	BotsAtCommand  int
+
+	// WeakCredDevs (credentials vector only) is how many Devs shipped
+	// a dictionary credential — the recruitable population.
+	WeakCredDevs int
+	// CanaryDevs is how many Devs run stack-protector builds.
+	CanaryDevs int
+
+	// AttackIssuedAt is when the C&C broadcast the order; the
+	// measurement window for D_received is
+	// [issue second, issue second + AttackDuration).
+	AttackIssuedAt sim.Time
+
+	// DReceivedKbps is the paper's Eq. 2 average received data rate.
+	DReceivedKbps float64
+	// PerSecondKbps is the received rate in each window second.
+	PerSecondKbps []float64
+	// SinkBytes is the total attack volume TServer logged, and
+	// DistinctSources the number of bots it observed.
+	SinkBytes       uint64
+	DistinctSources int
+
+	// Usage is the Table I resource estimate for this run.
+	Usage resources.Usage
+
+	// ChurnDepartures/ChurnRejoins count membership flips.
+	ChurnDepartures uint64
+	ChurnRejoins    uint64
+
+	// NetStats snapshots network-wide counters at the end of the run.
+	NetStats netsim.NetworkStats
+
+	// Timeline is the full event log.
+	Timeline *metrics.Timeline
+}
+
+// InfectionRate reports the paper's R2 metric: the fraction of
+// targeted Devs recruited into the botnet.
+func (r *Results) InfectionRate() float64 {
+	if r.DevsTotal == 0 {
+		return 0
+	}
+	return float64(r.Infected) / float64(r.DevsTotal)
+}
+
+// Summary renders a human-readable report.
+func (r *Results) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "devices:            %d\n", r.DevsTotal)
+	fmt.Fprintf(&b, "exploit attempts:   %d (hijacked %d, crashed %d)\n", r.ExploitAttempts, r.Hijacked, r.Crashed)
+	fmt.Fprintf(&b, "infected:           %d (%.0f%%)\n", r.Infected, 100*r.InfectionRate())
+	fmt.Fprintf(&b, "bots registered:    %d\n", r.BotsRegistered)
+	fmt.Fprintf(&b, "bots ordered:       %d (at %s)\n", r.BotsAtCommand, r.AttackIssuedAt)
+	fmt.Fprintf(&b, "D_received:         %.1f kbps\n", r.DReceivedKbps)
+	fmt.Fprintf(&b, "attack volume:      %d bytes from %d sources\n", r.SinkBytes, r.DistinctSources)
+	fmt.Fprintf(&b, "churn:              -%d/+%d\n", r.ChurnDepartures, r.ChurnRejoins)
+	fmt.Fprintf(&b, "est. pre-attack mem: %.2f GB, attack mem: %.2f GB, attack time: %s\n",
+		r.Usage.PreAttackMemGB, r.Usage.AttackMemGB, r.Usage.AttackTimeMMSS())
+	return b.String()
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"ddosim/internal/attacker"
+	"ddosim/internal/binaries/connman"
+	"ddosim/internal/binaries/dnsmasq"
+	imagecat "ddosim/internal/binaries/image"
+	"ddosim/internal/binaries/telnetd"
+	"ddosim/internal/churn"
+	"ddosim/internal/container"
+	"ddosim/internal/exploit"
+	"ddosim/internal/metrics"
+	"ddosim/internal/mirai"
+	"ddosim/internal/netsim"
+	"ddosim/internal/procvm"
+	"ddosim/internal/resources"
+	"ddosim/internal/sim"
+)
+
+// Dev is one simulated IoT device: a container running a vulnerable
+// daemon over a 100–500 kbps link.
+type Dev struct {
+	name      string
+	binary    DevBinary
+	prot      procvm.Protections
+	rate      netsim.DataRate
+	container *container.Container
+}
+
+// Name implements churn.Device.
+func (d *Dev) Name() string { return d.name }
+
+// SetOnline implements churn.Device by flipping the Dev's link.
+func (d *Dev) SetOnline(up bool) { d.container.Node().DefaultDevice().SetUp(up) }
+
+// Online implements churn.Device.
+func (d *Dev) Online() bool { return d.container.Node().DefaultDevice().IsUp() }
+
+// Binary reports the daemon this Dev runs.
+func (d *Dev) Binary() DevBinary { return d.binary }
+
+// Protections reports the Dev's memory defenses.
+func (d *Dev) Protections() procvm.Protections { return d.prot }
+
+// Container exposes the underlying container.
+func (d *Dev) Container() *container.Container { return d.container }
+
+// Rate reports the Dev's sampled link rate.
+func (d *Dev) Rate() netsim.DataRate { return d.rate }
+
+// Simulation is one fully-built DDoSim instance.
+type Simulation struct {
+	cfg      Config
+	sched    *sim.Scheduler
+	net      *netsim.Network
+	star     *netsim.Star
+	engine   *container.Engine
+	attacker *attacker.Attacker
+	loader   *mirai.Loader
+	tserver  *netsim.Node
+	sink     *netsim.Sink
+	devs     []*Dev
+	churnCtl *churn.Controller
+	timeline *metrics.Timeline
+
+	devByAddr map[netip.Addr]*Dev
+
+	results        Results
+	infectedDevs   map[string]bool
+	registeredEver map[netip.Addr]bool
+
+	attackIssued bool
+	preSnap      resources.Snapshot
+	postSnap     resources.Snapshot
+	postTaken    bool
+}
+
+// New builds the full testbed for cfg: attacker container (C&C, file
+// server, malicious DNS, DHCPv6 script), NumDevs Dev containers, and
+// the TServer sink node, all joined through the star router.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:            cfg,
+		sched:          sim.NewScheduler(cfg.Seed),
+		timeline:       metrics.NewTimeline(),
+		devByAddr:      make(map[netip.Addr]*Dev),
+		infectedDevs:   make(map[string]bool),
+		registeredEver: make(map[netip.Addr]bool),
+	}
+	s.net = netsim.New(s.sched)
+	s.star = netsim.NewStar(s.net)
+	s.engine = container.NewEngine(s.sched, s.star)
+
+	// TServer first so the attacker's scanner skip-list can include
+	// it; then the attacker; then the fleet.
+	if err := s.deployTServer(); err != nil {
+		return nil, err
+	}
+	if err := s.deployAttacker(); err != nil {
+		return nil, err
+	}
+	if err := s.deployDevs(); err != nil {
+		return nil, err
+	}
+
+	churnDevs := make([]churn.Device, len(s.devs))
+	for i, d := range s.devs {
+		churnDevs[i] = d
+	}
+	s.churnCtl = churn.NewController(s.sched, cfg.Churn, churnDevs)
+	if cfg.ChurnEpoch > 0 {
+		s.churnCtl.SetEpoch(cfg.ChurnEpoch)
+	}
+	s.churnCtl.OnChange = func(at sim.Time, dev churn.Device, online bool) {
+		kind := EventChurnOffline
+		if online {
+			kind = EventChurnOnline
+		}
+		s.timeline.Record(at, kind, dev.Name())
+	}
+	return s, nil
+}
+
+// Sched exposes the scheduler (examples drive extra behaviours with
+// it).
+func (s *Simulation) Sched() *sim.Scheduler { return s.sched }
+
+// Network exposes the simulated network.
+func (s *Simulation) Network() *netsim.Network { return s.net }
+
+// Star exposes the topology helper so callers can attach extra hosts
+// (e.g. benign-traffic clients for defense experiments).
+func (s *Simulation) Star() *netsim.Star { return s.star }
+
+// Engine exposes the container runtime.
+func (s *Simulation) Engine() *container.Engine { return s.engine }
+
+// Attacker exposes the deployed attacker component.
+func (s *Simulation) Attacker() *attacker.Attacker { return s.attacker }
+
+// CNC exposes the Mirai command-and-control server.
+func (s *Simulation) CNC() *mirai.CNC { return s.attacker.CNC }
+
+// TServer exposes the target node.
+func (s *Simulation) TServer() *netsim.Node { return s.tserver }
+
+// Sink exposes TServer's measurement application.
+func (s *Simulation) Sink() *netsim.Sink { return s.sink }
+
+// Devs returns the fleet (a copy of the slice).
+func (s *Simulation) Devs() []*Dev {
+	out := make([]*Dev, len(s.devs))
+	copy(out, s.devs)
+	return out
+}
+
+// Timeline exposes the run's event log.
+func (s *Simulation) Timeline() *metrics.Timeline { return s.timeline }
+
+func (s *Simulation) deployAttacker() error {
+	jitter := sim.Time(0)
+	if s.cfg.StartJitterPerDev > 0 {
+		jitter = sim.Time(s.cfg.NumDevs) * s.cfg.StartJitterPerDev
+	}
+	atkCfg := attacker.Config{
+		DHCPv6Period: s.cfg.DHCPv6Period,
+		Bot: mirai.BotConfig{
+			PayloadBytes: s.cfg.PayloadBytes,
+			StartJitter:  jitter,
+			OnAttackStart: func(addr netip.Addr) {
+				s.timeline.Record(s.sched.Now(), EventFloodStart, s.devName(addr))
+			},
+		},
+		CNC: mirai.CNCConfig{
+			OnBotRegistered: func(addr netip.Addr, arch string) {
+				if !s.registeredEver[addr] {
+					s.registeredEver[addr] = true
+					s.results.BotsRegistered++
+				}
+				s.timeline.Record(s.sched.Now(), EventBotJoined, s.devName(addr))
+			},
+			OnBotLost: func(addr netip.Addr) {
+				s.timeline.Record(s.sched.Now(), EventBotLost, s.devName(addr))
+			},
+		},
+	}
+	if s.cfg.Vector == VectorCredentials {
+		// Credential recruitment: no exploit scripts; instead the
+		// distributed bots scan and brute-force telnet, and a loader
+		// pushes the infection command to reported victims.
+		atkCfg.DisableExploitScripts = true
+		atkCfg.Bot.Scan = mirai.ScanConfig{
+			Enabled: true,
+			Prefix:  netip.MustParsePrefix("10.0.0.0/24"),
+			Period:  s.cfg.ScanPeriod,
+			Skip:    []netip.Addr{s.tserver.Addr4()},
+		}
+	}
+	atk, err := attacker.Deploy(s.engine, atkCfg)
+	if err != nil {
+		return err
+	}
+	s.attacker = atk
+
+	if s.cfg.Vector == VectorCredentials {
+		s.loader = mirai.NewLoader(mirai.LoaderConfig{
+			InfectionCommand: exploit.InfectionCommand(atk.ScriptURL()),
+			OnLoaded: func(victim netip.Addr) {
+				dev, ok := s.devByAddr[victim]
+				if !ok {
+					return
+				}
+				if !s.infectedDevs[dev.name] {
+					s.infectedDevs[dev.name] = true
+					s.results.Infected++
+					s.timeline.Record(s.sched.Now(), EventLoaded, dev.name)
+				}
+			},
+		})
+		atk.Container.Spawn(s.loader)
+		atk.Container.Spawn(mirai.SeedScannerBehavior(atk.BotTemplate.Scan, s.cfg.SeedCount))
+	}
+	return nil
+}
+
+func (s *Simulation) devName(addr netip.Addr) string {
+	if d, ok := s.devByAddr[addr]; ok {
+		return d.name
+	}
+	return addr.String()
+}
+
+func (s *Simulation) deployTServer() error {
+	// TServer is an NS-3-style node, not a container (§II-C): modest
+	// uplink, a downlink wide enough to be the shared bottleneck.
+	s.tserver = s.star.AttachHostAsym("tserver",
+		10*netsim.Mbps, s.cfg.TServerDownlink, s.cfg.LinkDelay, netsim.DefaultQueueLimit)
+	sink, err := netsim.InstallSink(s.tserver, s.cfg.AttackPort)
+	if err != nil {
+		return fmt.Errorf("core: tserver sink: %w", err)
+	}
+	s.sink = sink
+	return nil
+}
+
+// Loader exposes the Mirai loader (credentials vector only; nil
+// otherwise).
+func (s *Simulation) Loader() *mirai.Loader { return s.loader }
+
+func (s *Simulation) deployDevs() error {
+	if s.cfg.Vector == VectorCredentials {
+		return s.deployTelnetDevs()
+	}
+	return s.deployVulnDaemonDevs()
+}
+
+// deployTelnetDevs builds the credential-vector fleet: BusyBox-style
+// devices guarded only by a login, a WeakCredFraction of which ship
+// dictionary credentials.
+func (s *Simulation) deployTelnetDevs() error {
+	img := &container.Image{
+		Name: "ddosim/dev-busybox", Tag: "1.19", Arch: "x86_64",
+		Files:      map[string][]byte{"/bin/telnetd": container.BinaryContent(imagecat.BinTelnetd, "x86_64")},
+		ExecPaths:  map[string]bool{"/bin/telnetd": true},
+		ExtraBytes: 3 << 20,
+	}
+	s.engine.RegisterImage(img)
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x5eed))
+	for i := 0; i < s.cfg.NumDevs; i++ {
+		name := fmt.Sprintf("dev-%03d", i+1)
+		rate := s.cfg.MinDevRate +
+			netsim.DataRate(rng.Int63n(int64(s.cfg.MaxDevRate-s.cfg.MinDevRate)+1))
+		cred := telnetd.StrongCred
+		weak := rng.Float64() < s.cfg.WeakCredFraction
+		if weak {
+			cred = telnetd.MiraiDictionary[rng.Intn(len(telnetd.MiraiDictionary))]
+			s.results.WeakCredDevs++
+		}
+		c, err := s.engine.Create(img.Ref(), name, container.LinkConfig{
+			Rate: rate, Delay: s.cfg.LinkDelay, QueueLimit: s.cfg.DevQueueLimit,
+		})
+		if err != nil {
+			return fmt.Errorf("core: dev %s: %w", name, err)
+		}
+		dev := &Dev{name: name, binary: BinaryTelnetd, rate: rate, container: c}
+		s.devs = append(s.devs, dev)
+		s.devByAddr[c.Node().Addr4()] = dev
+		if err := c.Start(); err != nil {
+			return fmt.Errorf("core: dev %s: %w", name, err)
+		}
+		c.Spawn(telnetd.New(telnetd.Config{Cred: cred}))
+	}
+	return nil
+}
+
+func (s *Simulation) deployVulnDaemonDevs() error {
+	connmanProg, dnsmasqProg := imagecat.Connman(), imagecat.Dnsmasq()
+	if s.cfg.Hardened {
+		connmanProg, dnsmasqProg = imagecat.HardenedConnman(), imagecat.HardenedDnsmasq()
+	}
+	connmanImg := &container.Image{
+		Name: "ddosim/dev-connman", Tag: "1.34", Arch: "x86_64",
+		Files:      map[string][]byte{"/usr/sbin/connmand": container.BinaryContent(imagecat.BinConnman, "x86_64")},
+		ExecPaths:  map[string]bool{"/usr/sbin/connmand": true},
+		Program:    connmanProg,
+		ExtraBytes: 4 << 20,
+	}
+	dnsmasqImg := &container.Image{
+		Name: "ddosim/dev-dnsmasq", Tag: "2.77", Arch: "x86_64",
+		Files:      map[string][]byte{"/usr/sbin/dnsmasq": container.BinaryContent(imagecat.BinDnsmasq, "x86_64")},
+		ExecPaths:  map[string]bool{"/usr/sbin/dnsmasq": true},
+		Program:    dnsmasqProg,
+		ExtraBytes: 4 << 20,
+	}
+	s.engine.RegisterImage(connmanImg)
+	s.engine.RegisterImage(dnsmasqImg)
+
+	// Dev parameters come from a dedicated stream so that runs with
+	// the same seed but different churn modes get identical fleets —
+	// common random numbers make the Fig. 2 churn comparison paired.
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x5eed))
+	for i := 0; i < s.cfg.NumDevs; i++ {
+		name := fmt.Sprintf("dev-%03d", i+1)
+		bin := s.cfg.binaryFor(i)
+		rate := s.cfg.MinDevRate +
+			netsim.DataRate(rng.Int63n(int64(s.cfg.MaxDevRate-s.cfg.MinDevRate)+1))
+		prot := procvm.Protections{WX: true, ASLR: true}
+		if s.cfg.RandomProtections {
+			prot = procvm.Protections{WX: rng.Intn(2) == 0, ASLR: rng.Intn(2) == 0}
+		}
+		if rng.Float64() < s.cfg.CanaryFraction {
+			prot.Canary = true
+			s.results.CanaryDevs++
+		}
+
+		ref := connmanImg.Ref()
+		if bin == BinaryDnsmasq {
+			ref = dnsmasqImg.Ref()
+		}
+		c, err := s.engine.Create(ref, name, container.LinkConfig{
+			Rate: rate, Delay: s.cfg.LinkDelay, QueueLimit: s.cfg.DevQueueLimit,
+		})
+		if err != nil {
+			return fmt.Errorf("core: dev %s: %w", name, err)
+		}
+		dev := &Dev{name: name, binary: bin, prot: prot, rate: rate, container: c}
+		s.devs = append(s.devs, dev)
+		s.devByAddr[c.Node().Addr4()] = dev
+
+		if err := c.Start(); err != nil {
+			return fmt.Errorf("core: dev %s: %w", name, err)
+		}
+		if s.cfg.RemoveCurl {
+			c.RemoveCommand("curl")
+			c.RemoveCommand("wget")
+		}
+		outcome := s.outcomeHook(dev)
+		switch bin {
+		case BinaryConnman:
+			// §V-C: Devs are manually pointed at the malicious DNS
+			// server.
+			c.FS().Write("/etc/resolv.conf",
+				[]byte("nameserver "+s.attacker.Container.Node().Addr4().String()+"\n"))
+			c.Spawn(connman.New(connman.Config{
+				Protections: prot,
+				QueryPeriod: s.cfg.ConnmanQueryPeriod,
+				Program:     connmanProg,
+				OnOutcome:   outcome,
+			}))
+		case BinaryDnsmasq:
+			c.Spawn(dnsmasq.New(dnsmasq.Config{
+				Protections: prot,
+				Program:     dnsmasqProg,
+				OnOutcome:   outcome,
+			}))
+		}
+	}
+	return nil
+}
+
+func (s *Simulation) outcomeHook(dev *Dev) func(procvm.HijackOutcome) {
+	return func(out procvm.HijackOutcome) {
+		s.results.ExploitAttempts++
+		if out.Hijacked {
+			s.results.Hijacked++
+		}
+		switch {
+		case out.ExecutedShell != "":
+			if !s.infectedDevs[dev.name] {
+				s.infectedDevs[dev.name] = true
+				s.results.Infected++
+				s.timeline.Record(s.sched.Now(), EventExploitHit, dev.name)
+			}
+		case out.Crashed():
+			s.results.Crashed++
+			s.timeline.Record(s.sched.Now(), EventExploitCrash, dev.name)
+		}
+	}
+}
+
+func (s *Simulation) snapshot() resources.Snapshot {
+	st := s.net.Stats()
+	return resources.Snapshot{
+		ContainerBytes:  s.engine.TotalMemBytes(),
+		TxFrames:        st.TxFrames,
+		EventsProcessed: s.sched.Processed(),
+		PeakQueued:      st.PeakQueued,
+	}
+}
+
+func (s *Simulation) onlineDevs() int {
+	n := 0
+	for _, d := range s.devs {
+		if d.Online() {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the scenario to the configured horizon and returns the
+// measurements.
+func (s *Simulation) Run() (*Results, error) {
+	s.results.DevsTotal = s.cfg.NumDevs
+	s.results.AttackIssuedAt = -1
+
+	// Churn applies from the outset (§IV-A).
+	s.churnCtl.Start()
+
+	// Recruitment watcher: issue the attack once every online Dev is
+	// a registered bot, or at the recruitment deadline.
+	watcher := sim.NewTicker(s.sched, sim.Second, func() {
+		if s.attackIssued {
+			return
+		}
+		online := s.onlineDevs()
+		full := online > 0 && s.attacker.CNC.BotCount() >= online
+		if full || s.sched.Now() >= s.cfg.RecruitTimeout {
+			s.issueAttack()
+		}
+	})
+	watcher.Start()
+
+	if err := s.sched.Run(s.cfg.SimDuration); err != nil {
+		return nil, fmt.Errorf("core: run: %w", err)
+	}
+	watcher.Stop()
+	s.churnCtl.Stop()
+
+	if s.attackIssued && !s.postTaken {
+		s.postSnap = s.snapshot()
+		s.postTaken = true
+	}
+	s.assemble()
+	return &s.results, nil
+}
+
+func (s *Simulation) issueAttack() {
+	s.attackIssued = true
+	s.preSnap = s.snapshot()
+	now := s.sched.Now()
+	s.results.AttackIssuedAt = now
+	method := s.cfg.AttackMethod
+	if method == "" {
+		method = mirai.MethodUDPPlain
+	}
+	target := s.tserver.Addr4()
+	if s.cfg.AttackOverIPv6 {
+		target = s.tserver.Addr6()
+	}
+	n := s.attacker.CNC.LaunchAttack(mirai.AttackCommand{
+		Method:   method,
+		Target:   target,
+		Port:     s.cfg.AttackPort,
+		Duration: s.cfg.AttackDuration,
+	})
+	s.results.BotsAtCommand = n
+	s.timeline.Record(now, EventAttackOrder, fmt.Sprintf("%d bots", n))
+
+	// Post-attack snapshot: after the last jittered bot finishes,
+	// plus queue-drain grace.
+	jitter := sim.Time(s.cfg.NumDevs) * s.cfg.StartJitterPerDev
+	post := sim.Time(s.cfg.AttackDuration)*sim.Second + jitter + 10*sim.Second
+	s.sched.Schedule(post, func() {
+		if !s.postTaken {
+			s.postSnap = s.snapshot()
+			s.postTaken = true
+		}
+	})
+}
+
+func (s *Simulation) assemble() {
+	r := &s.results
+	r.NetStats = s.net.Stats()
+	r.ChurnDepartures = s.churnCtl.Departures()
+	r.ChurnRejoins = s.churnCtl.Rejoins()
+	r.SinkBytes = s.sink.Series().TotalBytes()
+	r.DistinctSources = s.sink.DistinctSources()
+	r.Timeline = s.timeline
+
+	if s.attackIssued {
+		from := int64(r.AttackIssuedAt / sim.Second)
+		to := from + int64(s.cfg.AttackDuration)
+		r.DReceivedKbps = s.sink.Series().AvgReceivedKbps(from, to)
+		r.PerSecondKbps = s.sink.Series().KbpsSeries(from, to)
+		r.Usage = resources.Estimate(resources.Inputs{
+			Devs:          s.cfg.NumDevs,
+			PreAttack:     s.preSnap,
+			PostAttack:    s.postSnap,
+			CommandedSecs: float64(s.cfg.AttackDuration),
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package defense
+
+import (
+	"net/netip"
+
+	"ddosim/internal/netsim"
+	"ddosim/internal/sim"
+)
+
+// RateLimiter is a deployable mitigation (§V-A's second half: not
+// just detecting attacks but defending in the simulation): a per-source
+// token-bucket firewall installed as the target node's ingress filter.
+// Sources that exceed their budget are dropped — and optionally
+// blacklisted outright once they misbehave.
+type RateLimiter struct {
+	node *netsim.Node
+
+	// BytesPerSec is each source's sustained budget.
+	BytesPerSec float64
+	// BurstBytes is the bucket depth.
+	BurstBytes float64
+	// BlacklistAfter permanently blocks a source after this many
+	// dropped packets (0 disables blacklisting).
+	BlacklistAfter int
+
+	buckets   map[netip.Addr]*bucket
+	blacklist map[netip.Addr]bool
+
+	// Accepted/Dropped count filter decisions.
+	Accepted uint64
+	Dropped  uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   sim.Time
+	drops  int
+}
+
+// InstallRateLimiter deploys the mitigation on node. Pass the
+// per-source sustained byte rate and burst depth.
+func InstallRateLimiter(node *netsim.Node, bytesPerSec, burstBytes float64, blacklistAfter int) *RateLimiter {
+	rl := &RateLimiter{
+		node:           node,
+		BytesPerSec:    bytesPerSec,
+		BurstBytes:     burstBytes,
+		BlacklistAfter: blacklistAfter,
+		buckets:        make(map[netip.Addr]*bucket),
+		blacklist:      make(map[netip.Addr]bool),
+	}
+	node.SetFilter(rl.admit)
+	return rl
+}
+
+// Uninstall removes the filter, letting traffic flow freely again.
+func (rl *RateLimiter) Uninstall() { rl.node.SetFilter(nil) }
+
+// Blacklisted reports how many sources are permanently blocked.
+func (rl *RateLimiter) Blacklisted() int { return len(rl.blacklist) }
+
+func (rl *RateLimiter) admit(pkt *netsim.Packet) bool {
+	src := pkt.Src.Addr()
+	if rl.blacklist[src] {
+		rl.Dropped++
+		return false
+	}
+	now := rl.node.Sched().Now()
+	b := rl.buckets[src]
+	if b == nil {
+		b = &bucket{tokens: rl.BurstBytes, last: now}
+		rl.buckets[src] = b
+	}
+	// Refill.
+	b.tokens += (now - b.last).Seconds() * rl.BytesPerSec
+	if b.tokens > rl.BurstBytes {
+		b.tokens = rl.BurstBytes
+	}
+	b.last = now
+
+	cost := float64(pkt.Size())
+	if b.tokens >= cost {
+		b.tokens -= cost
+		rl.Accepted++
+		return true
+	}
+	b.drops++
+	rl.Dropped++
+	if rl.BlacklistAfter > 0 && b.drops >= rl.BlacklistAfter {
+		rl.blacklist[src] = true
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+// Package dhcpv6 implements the subset of the DHCPv6 wire format
+// (RFC 8415) DDoSim needs: RELAY-FORW messages with options, sent to
+// the All-DHCP-Relay-Agents-and-Servers multicast group. The attacker
+// crafts a RELAY-FORW whose Relay Message option carries the ROP
+// payload, exploiting Dnsmasq's CVE-2017-14493 on every listening Dev.
+package dhcpv6
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Message types.
+const (
+	TypeSolicit   uint8 = 1
+	TypeAdvertise uint8 = 2
+	TypeRequest   uint8 = 3
+	TypeReply     uint8 = 7
+	TypeRelayForw uint8 = 12
+	TypeRelayRepl uint8 = 13
+)
+
+// Option codes.
+const (
+	OptClientID uint16 = 1
+	OptServerID uint16 = 2
+	OptRelayMsg uint16 = 9
+)
+
+// ServerPort is the UDP port DHCPv6 servers and relay agents listen
+// on; Dnsmasq binds it.
+const ServerPort = 547
+
+// AllRelayAgentsAndServers is the ff02::1:2 multicast group. The paper
+// sends the exploit there because IPv6 has no broadcast address.
+var AllRelayAgentsAndServers = netip.MustParseAddr("ff02::1:2")
+
+// Errors returned by decoding.
+var (
+	ErrTruncated = errors.New("dhcpv6: truncated message")
+	ErrNotRelay  = errors.New("dhcpv6: not a relay message")
+)
+
+// Option is a single DHCPv6 option TLV.
+type Option struct {
+	Code uint16
+	Data []byte
+}
+
+// RelayForw is a RELAY-FORW message.
+type RelayForw struct {
+	HopCount uint8
+	LinkAddr netip.Addr
+	PeerAddr netip.Addr
+	Options  []Option
+}
+
+// NewRelayForw builds a relay-forward with the given relay-message
+// payload — the shape of the paper's crafted exploit datagram.
+func NewRelayForw(link, peer netip.Addr, relayMsg []byte) *RelayForw {
+	return &RelayForw{
+		LinkAddr: link,
+		PeerAddr: peer,
+		Options:  []Option{{Code: OptRelayMsg, Data: relayMsg}},
+	}
+}
+
+// Option returns the first option with the given code.
+func (r *RelayForw) Option(code uint16) ([]byte, bool) {
+	for _, o := range r.Options {
+		if o.Code == code {
+			return o.Data, true
+		}
+	}
+	return nil, false
+}
+
+// Encode renders the message in wire format:
+// msg-type(1) hop-count(1) link-address(16) peer-address(16) options.
+func (r *RelayForw) Encode() []byte {
+	b := make([]byte, 0, 34)
+	b = append(b, TypeRelayForw, r.HopCount)
+	b = append(b, addr16(r.LinkAddr)...)
+	b = append(b, addr16(r.PeerAddr)...)
+	for _, o := range r.Options {
+		b = binary.BigEndian.AppendUint16(b, o.Code)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(o.Data)))
+		b = append(b, o.Data...)
+	}
+	return b
+}
+
+func addr16(a netip.Addr) []byte {
+	if !a.IsValid() {
+		return make([]byte, 16)
+	}
+	b := a.As16()
+	return b[:]
+}
+
+// DecodeRelayForw parses a wire-format RELAY-FORW message.
+func DecodeRelayForw(b []byte) (*RelayForw, error) {
+	if len(b) < 1 {
+		return nil, ErrTruncated
+	}
+	if b[0] != TypeRelayForw {
+		return nil, ErrNotRelay
+	}
+	if len(b) < 34 {
+		return nil, ErrTruncated
+	}
+	r := &RelayForw{
+		HopCount: b[1],
+		LinkAddr: netip.AddrFrom16([16]byte(b[2:18])),
+		PeerAddr: netip.AddrFrom16([16]byte(b[18:34])),
+	}
+	off := 34
+	for off < len(b) {
+		if off+4 > len(b) {
+			return nil, ErrTruncated
+		}
+		code := binary.BigEndian.Uint16(b[off : off+2])
+		length := int(binary.BigEndian.Uint16(b[off+2 : off+4]))
+		off += 4
+		if off+length > len(b) {
+			return nil, ErrTruncated
+		}
+		r.Options = append(r.Options, Option{
+			Code: code,
+			Data: append([]byte(nil), b[off:off+length]...),
+		})
+		off += length
+	}
+	return r, nil
+}
+
+// String summarizes the message for traces.
+func (r *RelayForw) String() string {
+	return fmt.Sprintf("dhcpv6 relay-forw hops=%d peer=%s opts=%d", r.HopCount, r.PeerAddr, len(r.Options))
+}

@@ -1,0 +1,137 @@
+package dhcpv6
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelayForwRoundTrip(t *testing.T) {
+	link := netip.MustParseAddr("fd00::1")
+	peer := netip.MustParseAddr("fe80::2")
+	payload := []byte{0x01, 0x00, 0xff, 0x41, 0x41}
+	r := NewRelayForw(link, peer, payload)
+	r.HopCount = 3
+
+	got, err := DecodeRelayForw(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HopCount != 3 {
+		t.Fatalf("hops = %d", got.HopCount)
+	}
+	if got.LinkAddr != link || got.PeerAddr != peer {
+		t.Fatalf("addrs = %v %v", got.LinkAddr, got.PeerAddr)
+	}
+	data, ok := got.Option(OptRelayMsg)
+	if !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("relay-msg = %x ok=%v", data, ok)
+	}
+}
+
+func TestMultipleOptions(t *testing.T) {
+	r := NewRelayForw(netip.MustParseAddr("::"), netip.MustParseAddr("::1"), []byte("msg"))
+	r.Options = append(r.Options, Option{Code: OptClientID, Data: []byte("duid")})
+	got, err := DecodeRelayForw(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Options) != 2 {
+		t.Fatalf("options = %d", len(got.Options))
+	}
+	duid, ok := got.Option(OptClientID)
+	if !ok || string(duid) != "duid" {
+		t.Fatalf("client-id = %q", duid)
+	}
+	if _, ok := got.Option(OptServerID); ok {
+		t.Fatal("found absent option")
+	}
+}
+
+func TestDecodeRejectsNonRelay(t *testing.T) {
+	b := []byte{TypeSolicit, 0, 0, 0}
+	if _, err := DecodeRelayForw(b); err != ErrNotRelay {
+		t.Fatalf("err = %v, want ErrNotRelay", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	wire := NewRelayForw(netip.MustParseAddr("::"), netip.MustParseAddr("::1"), []byte("abcdef")).Encode()
+	for n := 1; n < len(wire); n++ {
+		if n == 34 {
+			// Exactly the fixed header: a valid option-less message.
+			continue
+		}
+		if _, err := DecodeRelayForw(wire[:n]); err == nil {
+			t.Fatalf("accepted %d/%d bytes", n, len(wire))
+		}
+	}
+	if _, err := DecodeRelayForw(nil); err == nil {
+		t.Fatal("accepted empty message")
+	}
+}
+
+func TestInvalidAddrEncodesAsZeros(t *testing.T) {
+	r := &RelayForw{Options: []Option{{Code: OptRelayMsg, Data: []byte("x")}}}
+	got, err := DecodeRelayForw(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LinkAddr != netip.IPv6Unspecified() {
+		t.Fatalf("zero link addr decoded as %v", got.LinkAddr)
+	}
+}
+
+func TestMulticastGroupConstant(t *testing.T) {
+	if !AllRelayAgentsAndServers.IsMulticast() {
+		t.Fatal("ff02::1:2 not recognized as multicast")
+	}
+	if ServerPort != 547 {
+		t.Fatalf("ServerPort = %d", ServerPort)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	r := NewRelayForw(netip.MustParseAddr("::"), netip.MustParseAddr("fe80::9"), nil)
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: arbitrary relay-message payloads round-trip byte-exact —
+// the exploit payload must not be altered in transit.
+func TestPropertyPayloadRoundTrip(t *testing.T) {
+	f := func(payload []byte, hops uint8) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		r := NewRelayForw(netip.MustParseAddr("fd00::1"), netip.MustParseAddr("fe80::2"), payload)
+		r.HopCount = hops
+		got, err := DecodeRelayForw(r.Encode())
+		if err != nil {
+			return false
+		}
+		data, ok := got.Option(OptRelayMsg)
+		return ok && bytes.Equal(data, payload) && got.HopCount == hops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DecodeRelayForw never panics on arbitrary bytes.
+func TestPropertyDecodeRobust(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("DecodeRelayForw panicked")
+			}
+		}()
+		_, _ = DecodeRelayForw(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package hardware
+
+import "testing"
+
+func TestScalesWithDevs(t *testing.T) {
+	prev := 0.0
+	for _, devs := range []int{1, 5, 10, 19} {
+		r := Run(DefaultConfig(devs))
+		if r.AvgReceivedKbps <= prev {
+			t.Fatalf("devs=%d: %.1f kbps not above previous %.1f", devs, r.AvgReceivedKbps, prev)
+		}
+		prev = r.AvgReceivedKbps
+	}
+}
+
+func TestSingleDevNearItsRate(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MinRateBps, cfg.MaxRateBps = 300_000, 300_000
+	r := Run(cfg)
+	// One station at 300 kbps shaped rate: payload throughput is a
+	// bit below (headers), with ±2% capture noise.
+	if r.AvgReceivedKbps < 230 || r.AvgReceivedKbps > 310 {
+		t.Fatalf("single dev at 300kbps delivered %.1f kbps", r.AvgReceivedKbps)
+	}
+	if r.Collisions != 0 {
+		t.Fatalf("single station collided %d times", r.Collisions)
+	}
+}
+
+func TestNineteenDevsFitOnChannel(t *testing.T) {
+	// 19 Pis at <=500 kbps is ~9.5 Mbps payload on a 54 Mbps channel:
+	// well within capacity, so delivery should be near-total and the
+	// curve near-linear (the paper's Fig. 4 regime).
+	cfg := DefaultConfig(19)
+	r := Run(cfg)
+	// Expected sum of shaped rates ~ 19*300 = 5700 kbps.
+	if r.AvgReceivedKbps < 4000 || r.AvgReceivedKbps > 7500 {
+		t.Fatalf("19 devs delivered %.1f kbps, want ~5700", r.AvgReceivedKbps)
+	}
+}
+
+func TestCollisionsAppearWithContention(t *testing.T) {
+	cfg := DefaultConfig(19)
+	r := Run(cfg)
+	if r.Collisions == 0 {
+		t.Fatal("19 contending stations never collided")
+	}
+	if r.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Collisions must be rare relative to deliveries (carrier sensing
+	// works).
+	if float64(r.Collisions) > 0.2*float64(r.Delivered) {
+		t.Fatalf("collision rate too high: %d collisions vs %d deliveries", r.Collisions, r.Delivered)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(DefaultConfig(7))
+	b := Run(DefaultConfig(7))
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := Run(Config{Seed: 2, NumDevs: 7, MinRateBps: 100_000, MaxRateBps: 500_000, AttackSecs: 100, PayloadBytes: 512})
+	if a == c {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestDegenerateConfigs(t *testing.T) {
+	if r := Run(Config{}); r.AvgReceivedKbps != 0 {
+		t.Fatalf("zero config produced %+v", r)
+	}
+	if r := Run(Config{NumDevs: -1, AttackSecs: 10}); r.AvgReceivedKbps != 0 {
+		t.Fatalf("negative devs produced %+v", r)
+	}
+}

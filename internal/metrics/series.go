@@ -1,0 +1,210 @@
+// Package metrics implements DDoSim's measurement layer: per-second
+// received-traffic buckets at TServer, the paper's average received
+// data rate D_received (Eq. 2), and infection/attack timelines used by
+// the experiment harness and the §V use cases.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ddosim/internal/sim"
+)
+
+// Series buckets a byte count per simulated second, the structure
+// TServer logs in the paper ("the received data rate at TServer during
+// one second").
+type Series struct {
+	buckets map[int64]uint64
+	first   int64
+	last    int64
+	total   uint64
+	any     bool
+}
+
+// NewSeries returns an empty per-second series.
+func NewSeries() *Series {
+	return &Series{buckets: make(map[int64]uint64)}
+}
+
+// Add records n bytes received at time at.
+func (s *Series) Add(at sim.Time, n int) {
+	if n < 0 {
+		panic("metrics: negative byte count")
+	}
+	sec := int64(at / sim.Second)
+	s.buckets[sec] += uint64(n)
+	s.total += uint64(n)
+	if !s.any || sec < s.first {
+		s.first = sec
+	}
+	if !s.any || sec > s.last {
+		s.last = sec
+	}
+	s.any = true
+}
+
+// TotalBytes reports the sum over all buckets.
+func (s *Series) TotalBytes() uint64 { return s.total }
+
+// Empty reports whether nothing was recorded.
+func (s *Series) Empty() bool { return !s.any }
+
+// Bounds reports the first and last second with any traffic. Invalid
+// when the series is empty.
+func (s *Series) Bounds() (first, last int64) { return s.first, s.last }
+
+// BytesAt reports the bytes recorded for one second.
+func (s *Series) BytesAt(sec int64) uint64 { return s.buckets[sec] }
+
+// BytesIn sums the bytes recorded in seconds [from, to).
+func (s *Series) BytesIn(from, to int64) uint64 {
+	var sum uint64
+	for sec := from; sec < to; sec++ {
+		sum += s.buckets[sec]
+	}
+	return sum
+}
+
+// KbpsSeries renders the per-second received data rate in kilobits per
+// second over [from, to), with zeros for quiet seconds.
+func (s *Series) KbpsSeries(from, to int64) []float64 {
+	out := make([]float64, 0, to-from)
+	for sec := from; sec < to; sec++ {
+		out = append(out, float64(s.buckets[sec])*8/1000)
+	}
+	return out
+}
+
+// AvgReceivedKbps computes the paper's D_received (Eq. 2) over the
+// window [from, to): total kilobits received divided by the window
+// length in seconds.
+func (s *Series) AvgReceivedKbps(from, to int64) float64 {
+	n := to - from
+	if n <= 0 {
+		return 0
+	}
+	return float64(s.BytesIn(from, to)) * 8 / 1000 / float64(n)
+}
+
+// Sparkline renders a coarse text plot of the rate series, used by the
+// CLI for quick inspection.
+func (s *Series) Sparkline(from, to int64) string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	vals := s.KbpsSeries(from, to)
+	maxV := 0.0
+	for _, v := range vals {
+		maxV = math.Max(maxV, v)
+	}
+	if maxV == 0 {
+		return strings.Repeat("▁", len(vals))
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := int(v / maxV * float64(len(levels)-1))
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// Timeline records timestamped labeled events (infections, C&C joins,
+// attack start/stop). The epidemic use case reads infection timelines
+// from here.
+type Timeline struct {
+	events []TimelineEvent
+}
+
+// TimelineEvent is one entry in a Timeline.
+type TimelineEvent struct {
+	At    sim.Time
+	Kind  string
+	Actor string
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Record appends an event. Events arrive in simulation order because
+// the kernel is single-threaded.
+func (t *Timeline) Record(at sim.Time, kind, actor string) {
+	t.events = append(t.events, TimelineEvent{At: at, Kind: kind, Actor: actor})
+}
+
+// Events returns a copy of all events.
+func (t *Timeline) Events() []TimelineEvent {
+	out := make([]TimelineEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Count reports how many events of the given kind were recorded.
+func (t *Timeline) Count(kind string) int {
+	n := 0
+	for _, e := range t.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstOf reports the earliest event of the given kind.
+func (t *Timeline) FirstOf(kind string) (TimelineEvent, bool) {
+	for _, e := range t.events {
+		if e.Kind == kind {
+			return e, true
+		}
+	}
+	return TimelineEvent{}, false
+}
+
+// LastOf reports the latest event of the given kind.
+func (t *Timeline) LastOf(kind string) (TimelineEvent, bool) {
+	for i := len(t.events) - 1; i >= 0; i-- {
+		if t.events[i].Kind == kind {
+			return t.events[i], true
+		}
+	}
+	return TimelineEvent{}, false
+}
+
+// CumulativeCurve returns, for each event of kind, the pair (seconds
+// since start, cumulative count). This is the infected-device curve the
+// §V-B use case fits an SIR model against.
+func (t *Timeline) CumulativeCurve(kind string) (times []float64, counts []int) {
+	for _, e := range t.events {
+		if e.Kind == kind {
+			times = append(times, e.At.Seconds())
+			counts = append(counts, len(counts)+1)
+		}
+	}
+	return times, counts
+}
+
+// ActorsOf lists the distinct actors of events of the given kind, in
+// sorted order.
+func (t *Timeline) ActorsOf(kind string) []string {
+	set := make(map[string]bool)
+	for _, e := range t.events {
+		if e.Kind == kind {
+			set[e.Actor] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the timeline compactly for debugging.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	for _, e := range t.events {
+		fmt.Fprintf(&b, "%s %s %s\n", e.At, e.Kind, e.Actor)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package mirai
+
+import (
+	"net/netip"
+	"strings"
+
+	"ddosim/internal/netsim"
+)
+
+// AdminSession drives the C&C's telnet interface programmatically —
+// the simulation equivalent of the researcher telnetting into the C&C
+// (§IV-A). It logs in, runs a fixed command list, and collects all
+// output.
+type AdminSession struct {
+	// Transcript accumulates everything the server sent.
+	Transcript strings.Builder
+	// Err records a connection-level failure.
+	Err error
+	// Done reports session completion (server closed or all commands
+	// sent and 'exit' issued).
+	Done bool
+}
+
+// RunAdminSession connects from node to the C&C at addr, authenticates
+// with user/pass, issues each command in order (waiting for a prompt
+// between commands), then exits. onDone fires once when the session
+// ends.
+func RunAdminSession(node *netsim.Node, addr netip.AddrPort, user, pass string, commands []string, onDone func(*AdminSession)) {
+	s := &AdminSession{}
+	finish := func() {
+		if s.Done {
+			return
+		}
+		s.Done = true
+		if onDone != nil {
+			onDone(s)
+		}
+	}
+	node.DialTCP(addr, func(c *netsim.TCPConn, err error) {
+		if err != nil {
+			s.Err = err
+			finish()
+			return
+		}
+		pending := append([]string{user, pass}, commands...)
+		pending = append(pending, "exit")
+		sent := 0
+		c.SetDataHandler(func(data []byte) {
+			s.Transcript.Write(data)
+			text := s.Transcript.String()
+			// Send the next line each time the server shows a prompt.
+			for sent < len(pending) && promptsSeen(text) > sent {
+				_ = c.Send([]byte(pending[sent] + "\n"))
+				sent++
+			}
+		})
+		c.SetCloseHandler(func(error) { finish() })
+	})
+}
+
+// promptsSeen counts the prompts ("login: ", "password: ", "> ") in
+// the transcript so the client stays in lockstep with the server.
+func promptsSeen(text string) int {
+	return strings.Count(text, "login: ") +
+		strings.Count(text, "password: ") +
+		strings.Count(text, "> ")
+}

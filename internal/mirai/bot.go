@@ -1,0 +1,306 @@
+package mirai
+
+import (
+	"fmt"
+	"net/netip"
+
+	"ddosim/internal/container"
+	"ddosim/internal/netsim"
+	"ddosim/internal/sim"
+)
+
+// BotConfig is baked into the bot binary by the attacker at build
+// time, exactly as Mirai's table.c encodes the C&C endpoint.
+type BotConfig struct {
+	// CNC is the command-and-control endpoint.
+	CNC netip.AddrPort
+	// PayloadBytes is the UDP-PLAIN payload size; defaults to Mirai's
+	// 512 bytes.
+	PayloadBytes int
+	// ReconnectDelay is the pause before re-dialing a lost C&C
+	// connection. Defaults to 10 s (Mirai retries aggressively).
+	ReconnectDelay sim.Time
+	// PingPeriod is the keepalive interval. Defaults to 60 s.
+	PingPeriod sim.Time
+	// StartJitter models host task queuing on the shared emulation
+	// machine: each bot begins flooding a uniformly-random delay in
+	// [0, StartJitter] after receiving the command. Zero starts
+	// immediately. (See DESIGN.md — this is the mechanism behind the
+	// paper's Fig. 3 duration effect and Table I attack-time
+	// inflation.)
+	StartJitter sim.Time
+	// Scan configures the telnet scanner module — the self-spreading
+	// credential-attack vector. Disabled by default; the paper's
+	// experiment series recruits through memory errors instead.
+	Scan ScanConfig
+	// OnAttackStart observes each bot's first flood packet instant.
+	OnAttackStart func(addr netip.Addr)
+}
+
+// Bot is the Mirai bot process behaviour.
+type Bot struct {
+	cfg BotConfig
+	p   *container.Process
+
+	conn      *netsim.TCPConn
+	connected bool
+	attacking bool
+	flood     *floodState
+	scanner   *Scanner
+
+	// Counters for tests.
+	Reconnects   int
+	RivalsKilled int
+	CommandsSeen int
+}
+
+type floodState struct {
+	method   string
+	dst      netip.AddrPort
+	until    sim.Time
+	interval sim.Time
+	sock     *netsim.UDPSocket
+	sent     uint64
+}
+
+var _ container.Behavior = (*Bot)(nil)
+
+// NewBot creates the behaviour.
+func NewBot(cfg BotConfig) *Bot {
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = DefaultUDPPlainPayload
+	}
+	if cfg.ReconnectDelay <= 0 {
+		cfg.ReconnectDelay = 10 * sim.Second
+	}
+	if cfg.PingPeriod <= 0 {
+		cfg.PingPeriod = 60 * sim.Second
+	}
+	return &Bot{cfg: cfg}
+}
+
+// BotFactory adapts NewBot to the binary registry; the attacker
+// registers it under the name "mirai" with the C&C address baked in.
+func BotFactory(cfg BotConfig) container.BehaviorFactory {
+	return func(args []string) container.Behavior { return NewBot(cfg) }
+}
+
+// Name implements container.Behavior.
+func (b *Bot) Name() string { return "mirai" }
+
+// Attacking reports whether the flood engine is live.
+func (b *Bot) Attacking() bool { return b.attacking }
+
+// Connected reports whether the C&C session is established.
+func (b *Bot) Connected() bool { return b.connected }
+
+// PacketsSent reports flood packets emitted so far.
+func (b *Bot) PacketsSent() uint64 {
+	if b.flood == nil {
+		return 0
+	}
+	return b.flood.sent
+}
+
+// Start implements container.Behavior: hide, fortify, phone home.
+func (b *Bot) Start(p *container.Process) {
+	b.p = p
+
+	// Obfuscate the process name, as Mirai does with PR_SET_NAME and
+	// argv scribbling.
+	title := make([]byte, 10)
+	for i := range title {
+		title[i] = byte('a' + p.RNG().Intn(26))
+	}
+	p.SetTitle(string(title))
+	p.SetTag("malware", "mirai")
+
+	b.killRivals()
+	if b.cfg.Scan.Enabled {
+		b.scanner = NewScanner(p, b.cfg.Scan)
+		b.scanner.Start()
+	}
+	b.dial()
+}
+
+// Scanner exposes the bot's scanner module, nil when disabled.
+func (b *Bot) Scanner() *Scanner { return b.scanner }
+
+// Stop implements container.Behavior.
+func (b *Bot) Stop(*container.Process) {
+	b.attacking = false
+	b.connected = false
+}
+
+// killRivals terminates competing DDoS malware and whatever holds TCP
+// 22/23, mirroring Mirai's killer module.
+func (b *Bot) killRivals() {
+	self := b.ownPID()
+	for _, proc := range b.p.Container().Procs() {
+		if proc.PID() == self {
+			continue
+		}
+		rivalMalware := proc.Tag("malware") != "" && proc.Tag("malware") != "mirai"
+		holdsPorts := proc.HasTCPPort(22) || proc.HasTCPPort(23)
+		if rivalMalware || holdsPorts {
+			b.p.Logf("mirai: killing rival pid %d (%s)", proc.PID(), proc.Title())
+			b.p.Container().Kill(proc.PID())
+			b.RivalsKilled++
+		}
+	}
+}
+
+func (b *Bot) ownPID() int {
+	return b.p.PID()
+}
+
+// dial connects to the C&C, retrying forever — a churned-out Dev that
+// rejoins the network reconnects through this path.
+func (b *Bot) dial() {
+	if !b.p.Alive() {
+		return
+	}
+	b.conn = b.p.DialTCP(b.cfg.CNC, func(c *netsim.TCPConn, err error) {
+		if err != nil {
+			b.scheduleReconnect()
+			return
+		}
+		b.onConnected(c)
+	})
+}
+
+func (b *Bot) scheduleReconnect() {
+	if !b.p.Alive() {
+		return
+	}
+	b.Reconnects++
+	b.p.Sched().Schedule(b.cfg.ReconnectDelay, b.dial)
+}
+
+func (b *Bot) onConnected(c *netsim.TCPConn) {
+	b.connected = true
+	var lb lineBuffer
+	c.SetDataHandler(func(data []byte) {
+		for _, line := range lb.feed(data) {
+			b.onLine(line)
+		}
+	})
+	c.SetCloseHandler(func(error) {
+		b.connected = false
+		b.scheduleReconnect()
+	})
+	_ = c.Send(botMagic)
+	_ = c.Send([]byte("arch " + b.p.Container().Arch() + "\n"))
+
+	ping := b.p.NewTicker(b.cfg.PingPeriod, func() {
+		if b.connected {
+			_ = c.Send([]byte("ping\n"))
+		}
+	})
+	ping.Start()
+}
+
+func (b *Bot) onLine(line string) {
+	if line == "pong" {
+		return
+	}
+	cmd, err := ParseAttackCommand(line)
+	if err != nil {
+		return
+	}
+	b.CommandsSeen++
+	b.startAttack(cmd)
+}
+
+// startAttack runs the ordered flood, paced at the device's own line
+// rate so the Dev's uplink is saturated for the commanded duration
+// (Mirai floods as fast as the interface allows). UDP-PLAIN carries
+// PayloadBytes of padding; SYN and ACK floods are header-only crafted
+// segments with randomized source ports and sequence numbers.
+func (b *Bot) startAttack(cmd AttackCommand) {
+	dst := netip.AddrPortFrom(cmd.Target, cmd.Port)
+	rate := b.p.Node().DefaultDevice().Rate()
+
+	f := &floodState{method: cmd.Method, dst: dst}
+	var wireSize int
+	switch cmd.Method {
+	case MethodUDPPlain:
+		sock, err := b.p.BindUDP(0, nil)
+		if err != nil {
+			b.p.Logf("mirai: flood socket: %v", err)
+			return
+		}
+		f.sock = sock
+		wireSize = (&netsim.Packet{Proto: netsim.ProtoUDP, Dst: dst, Pad: b.cfg.PayloadBytes}).Size()
+	case MethodSYN, MethodACK:
+		wireSize = (&netsim.Packet{Proto: netsim.ProtoTCP, Dst: dst, TCP: &netsim.TCPHeader{}}).Size()
+	default:
+		b.p.Logf("mirai: unknown method %q", cmd.Method)
+		return
+	}
+	f.interval = rate.TxTime(wireSize)
+
+	delay := sim.Time(0)
+	if b.cfg.StartJitter > 0 {
+		delay = sim.Time(b.p.RNG().Int63n(int64(b.cfg.StartJitter)))
+	}
+	start := b.p.Sched().Now() + delay
+	f.until = start + sim.Time(cmd.Duration)*sim.Second
+	b.flood = f
+	b.p.Sched().ScheduleAt(start, func() {
+		if !b.p.Alive() {
+			return
+		}
+		b.attacking = true
+		if b.cfg.OnAttackStart != nil {
+			b.cfg.OnAttackStart(b.p.Node().Addr4())
+		}
+		b.floodNext()
+	})
+}
+
+func (b *Bot) floodNext() {
+	f := b.flood
+	if f == nil || !b.p.Alive() || b.p.Sched().Now() >= f.until {
+		b.attacking = false
+		return
+	}
+	switch f.method {
+	case MethodUDPPlain:
+		f.sock.SendPadded(f.dst, nil, b.cfg.PayloadBytes)
+	case MethodSYN:
+		b.sendRawTCP(f.dst, netsim.FlagSYN)
+	case MethodACK:
+		b.sendRawTCP(f.dst, netsim.FlagACK)
+	}
+	f.sent++
+	b.p.Sched().Schedule(f.interval, b.floodNext)
+}
+
+// sendRawTCP injects a crafted header-only segment with a randomized
+// source port and sequence number — Mirai's syn/ack attack modules
+// bypass the OS stack the same way.
+func (b *Bot) sendRawTCP(dst netip.AddrPort, flags netsim.TCPFlags) {
+	node := b.p.Node()
+	src := node.Addr4()
+	if dst.Addr().Is6() {
+		src = node.Addr6()
+	}
+	rng := b.p.RNG()
+	pkt := &netsim.Packet{
+		UID:   node.Network().NextUID(),
+		Proto: netsim.ProtoTCP,
+		Src:   netip.AddrPortFrom(src, uint16(1024+rng.Intn(64000))),
+		Dst:   dst,
+		TCP: &netsim.TCPHeader{
+			Flags: flags,
+			Seq:   uint32(rng.Int63()),
+		},
+	}
+	node.SendPacket(pkt)
+}
+
+// String aids debugging.
+func (b *Bot) String() string {
+	return fmt.Sprintf("mirai-bot(connected=%v attacking=%v)", b.connected, b.attacking)
+}

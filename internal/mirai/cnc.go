@@ -1,0 +1,286 @@
+package mirai
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"ddosim/internal/container"
+	"ddosim/internal/netsim"
+	"ddosim/internal/sim"
+)
+
+// CNCConfig parameterizes the command-and-control server.
+type CNCConfig struct {
+	// Port defaults to CNCPort (23).
+	Port uint16
+	// User and Pass guard the telnet admin interface. Defaults match
+	// the published source's bundled account.
+	User string
+	Pass string
+	// OnBotRegistered observes each successful bot registration — the
+	// experiment harness counts recruitment (R2) through this.
+	OnBotRegistered func(addr netip.Addr, arch string)
+	// OnBotLost observes bot disconnections (churn makes these
+	// frequent).
+	OnBotLost func(addr netip.Addr)
+	// BotTimeout drops bots whose keepalive pings stop arriving.
+	// Defaults to 180 s (three missed 60 s pings, as in the published
+	// source).
+	BotTimeout sim.Time
+}
+
+// BotRecord describes one connected bot.
+type BotRecord struct {
+	Addr        netip.Addr
+	Arch        string
+	ConnectedAt sim.Time
+	LastSeen    sim.Time
+}
+
+// CNC is the C&C server process behaviour. It multiplexes Mirai bots
+// and telnet admins on one port, keeps the bot registry, and
+// broadcasts attack commands.
+type CNC struct {
+	cfg CNCConfig
+	p   *container.Process
+
+	bots map[*netsim.TCPConn]*BotRecord
+
+	// Counters for tests and experiments.
+	AttacksIssued   int
+	AdminSessions   int
+	TotalRegistered int
+}
+
+var _ container.Behavior = (*CNC)(nil)
+
+// NewCNC creates the behaviour.
+func NewCNC(cfg CNCConfig) *CNC {
+	if cfg.Port == 0 {
+		cfg.Port = CNCPort
+	}
+	if cfg.User == "" {
+		cfg.User = "root"
+	}
+	if cfg.Pass == "" {
+		cfg.Pass = "root"
+	}
+	if cfg.BotTimeout <= 0 {
+		cfg.BotTimeout = 180 * sim.Second
+	}
+	return &CNC{cfg: cfg, bots: make(map[*netsim.TCPConn]*BotRecord)}
+}
+
+// CNCFactory adapts NewCNC to the binary registry.
+func CNCFactory(cfg CNCConfig) container.BehaviorFactory {
+	return func(args []string) container.Behavior { return NewCNC(cfg) }
+}
+
+// Name implements container.Behavior.
+func (c *CNC) Name() string { return "cnc" }
+
+// Start implements container.Behavior.
+func (c *CNC) Start(p *container.Process) {
+	c.p = p
+	if _, err := p.ListenTCP(c.cfg.Port, c.accept); err != nil {
+		p.Logf("cnc: listen: %v", err)
+	}
+	reaper := p.NewTicker(c.cfg.BotTimeout/3, c.reapSilentBots)
+	reaper.Start()
+}
+
+// reapSilentBots drops bots whose pings stopped — the C&C-side
+// detection of churned-out devices.
+func (c *CNC) reapSilentBots() {
+	now := c.p.Sched().Now()
+	var dead []*netsim.TCPConn
+	for conn, rec := range c.bots {
+		if now-rec.LastSeen > c.cfg.BotTimeout {
+			dead = append(dead, conn)
+		}
+	}
+	for _, conn := range dead {
+		conn.Abort() // close handler performs deregistration
+	}
+}
+
+// Stop implements container.Behavior.
+func (c *CNC) Stop(*container.Process) {}
+
+// BotCount reports the number of currently-connected bots.
+func (c *CNC) BotCount() int { return len(c.bots) }
+
+// Bots returns a snapshot of the registry.
+func (c *CNC) Bots() []BotRecord {
+	out := make([]BotRecord, 0, len(c.bots))
+	for _, r := range c.bots {
+		out = append(out, *r)
+	}
+	return out
+}
+
+// LaunchAttack broadcasts an attack command to every connected bot and
+// reports how many were ordered. This is the programmatic equivalent
+// of typing the command into the telnet admin session.
+func (c *CNC) LaunchAttack(cmd AttackCommand) int {
+	wire := []byte(cmd.Encode())
+	n := 0
+	for conn := range c.bots {
+		if err := conn.Send(wire); err == nil {
+			n++
+		}
+	}
+	c.AttacksIssued++
+	c.p.Logf("cnc: %s sent to %d bots", strings.TrimSpace(cmd.Encode()), n)
+	return n
+}
+
+// sniffTimeout bounds how long accept waits for the bot magic before
+// assuming a telnet admin — the read deadline the real C&C applies.
+const sniffTimeout = 250 * sim.Millisecond
+
+// accept sniffs the first bytes to route the connection: bot magic or
+// telnet admin. Bots announce themselves immediately; a human telnet
+// session sends nothing until prompted, so a short deadline decides.
+func (c *CNC) accept(conn *netsim.TCPConn) {
+	var head []byte
+	decided := false
+	decide := func() {
+		if decided {
+			return
+		}
+		decided = true
+		if len(head) >= len(botMagic) && bytes.Equal(head[:len(botMagic)], botMagic) {
+			c.serveBot(conn, head[len(botMagic):])
+			return
+		}
+		c.serveAdmin(conn, head)
+	}
+	conn.SetDataHandler(func(data []byte) {
+		if decided {
+			return // handler replaced by decide(); defensive
+		}
+		head = append(head, data...)
+		if len(head) >= len(botMagic) {
+			decide()
+		}
+	})
+	conn.SetCloseHandler(func(error) {})
+	c.p.Sched().Schedule(sniffTimeout, decide)
+}
+
+// --- Bot side ---
+
+func (c *CNC) serveBot(conn *netsim.TCPConn, rest []byte) {
+	var lb lineBuffer
+	registered := false
+	handle := func(lines []string) {
+		for _, line := range lines {
+			switch {
+			case strings.HasPrefix(line, "arch "):
+				if registered {
+					continue
+				}
+				registered = true
+				rec := &BotRecord{
+					Addr:        conn.RemoteAddr().Addr(),
+					Arch:        strings.TrimPrefix(line, "arch "),
+					ConnectedAt: c.p.Sched().Now(),
+					LastSeen:    c.p.Sched().Now(),
+				}
+				c.bots[conn] = rec
+				c.TotalRegistered++
+				if c.cfg.OnBotRegistered != nil {
+					c.cfg.OnBotRegistered(rec.Addr, rec.Arch)
+				}
+			case line == "ping":
+				if rec, ok := c.bots[conn]; ok {
+					rec.LastSeen = c.p.Sched().Now()
+				}
+				_ = conn.Send([]byte("pong\n"))
+			}
+		}
+	}
+	conn.SetDataHandler(func(data []byte) { handle(lb.feed(data)) })
+	conn.SetCloseHandler(func(error) {
+		if rec, ok := c.bots[conn]; ok {
+			delete(c.bots, conn)
+			if c.cfg.OnBotLost != nil {
+				c.cfg.OnBotLost(rec.Addr)
+			}
+		}
+	})
+	if len(rest) > 0 {
+		handle(lb.feed(rest))
+	}
+}
+
+// --- Telnet admin side ---
+
+type adminState int
+
+const (
+	adminUser adminState = iota + 1
+	adminPass
+	adminShell
+)
+
+func (c *CNC) serveAdmin(conn *netsim.TCPConn, head []byte) {
+	c.AdminSessions++
+	var lb lineBuffer
+	state := adminUser
+	var user string
+	_ = conn.Send([]byte("login: "))
+	handle := func(lines []string) {
+		for _, line := range lines {
+			switch state {
+			case adminUser:
+				user = line
+				state = adminPass
+				_ = conn.Send([]byte("password: "))
+			case adminPass:
+				if user == c.cfg.User && line == c.cfg.Pass {
+					state = adminShell
+					_ = conn.Send([]byte("welcome to the mirai cnc\n> "))
+				} else {
+					_ = conn.Send([]byte("login failed\n"))
+					conn.Close()
+					return
+				}
+			case adminShell:
+				c.adminCommand(conn, line)
+			}
+		}
+	}
+	conn.SetDataHandler(func(data []byte) { handle(lb.feed(data)) })
+	if len(head) > 0 {
+		handle(lb.feed(head))
+	}
+}
+
+func (c *CNC) adminCommand(conn *netsim.TCPConn, line string) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		_ = conn.Send([]byte("> "))
+		return
+	}
+	switch fields[0] {
+	case "botcount":
+		_ = conn.Send([]byte(fmt.Sprintf("%d bots connected.\n> ", len(c.bots))))
+	case MethodUDPPlain, MethodSYN, MethodACK:
+		cmd, err := ParseAttackCommand(line)
+		if err != nil {
+			_ = conn.Send([]byte(fmt.Sprintf("usage: %s <ip> <port> <secs>\n> ", fields[0])))
+			return
+		}
+		n := c.LaunchAttack(cmd)
+		_ = conn.Send([]byte(fmt.Sprintf("attack sent to %d bots\n> ", n)))
+	case "exit", "quit":
+		_ = conn.Send([]byte("bye\n"))
+		conn.Close()
+	default:
+		_ = conn.Send([]byte("unknown command\n> "))
+	}
+}

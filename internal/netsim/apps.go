@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"ddosim/internal/sim"
+)
+
+// OnOffApp is the counterpart of NS-3's OnOffApplication: it
+// alternates exponentially-distributed ON periods — during which it
+// emits fixed-size datagrams at a configured rate — with OFF silences.
+// DDoSim uses it for the benign background traffic that defense
+// experiments mix with attack floods.
+type OnOffApp struct {
+	node *Node
+	sock *UDPSocket
+	dst  netip.AddrPort
+
+	rate        DataRate
+	packetBytes int
+	meanOn      sim.Time
+	meanOff     sim.Time
+
+	on      bool
+	running bool
+
+	// PacketsSent counts emitted datagrams.
+	PacketsSent uint64
+}
+
+// OnOffConfig parameterizes an OnOffApp.
+type OnOffConfig struct {
+	// Dst is the traffic destination.
+	Dst netip.AddrPort
+	// Rate is the sending rate while ON. Default 100 kbps.
+	Rate DataRate
+	// PacketBytes is the datagram payload size. Default 512.
+	PacketBytes int
+	// MeanOn/MeanOff are the exponential period means. Defaults 1 s
+	// each.
+	MeanOn  sim.Time
+	MeanOff sim.Time
+}
+
+// InstallOnOff creates and starts an OnOff application on node.
+func InstallOnOff(node *Node, cfg OnOffConfig) (*OnOffApp, error) {
+	if !cfg.Dst.IsValid() {
+		return nil, fmt.Errorf("netsim: onoff: invalid destination")
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 100 * Kbps
+	}
+	if cfg.PacketBytes <= 0 {
+		cfg.PacketBytes = 512
+	}
+	if cfg.MeanOn <= 0 {
+		cfg.MeanOn = sim.Second
+	}
+	if cfg.MeanOff <= 0 {
+		cfg.MeanOff = sim.Second
+	}
+	sock, err := node.BindUDP(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	app := &OnOffApp{
+		node:        node,
+		sock:        sock,
+		dst:         cfg.Dst,
+		rate:        cfg.Rate,
+		packetBytes: cfg.PacketBytes,
+		meanOn:      cfg.MeanOn,
+		meanOff:     cfg.MeanOff,
+		running:     true,
+	}
+	app.enterOff() // begin with a silence so fleets desynchronize
+	return app, nil
+}
+
+// Stop halts the application permanently.
+func (a *OnOffApp) Stop() { a.running = false }
+
+// On reports whether the app is currently in an ON period.
+func (a *OnOffApp) On() bool { return a.on }
+
+func (a *OnOffApp) expDelay(mean sim.Time) sim.Time {
+	d := sim.Time(a.node.sched.RNG().ExpFloat64() * float64(mean))
+	if d < sim.Millisecond {
+		d = sim.Millisecond
+	}
+	return d
+}
+
+func (a *OnOffApp) enterOn() {
+	if !a.running {
+		return
+	}
+	a.on = true
+	a.node.sched.Schedule(a.expDelay(a.meanOn), a.enterOff)
+	a.emit()
+}
+
+func (a *OnOffApp) enterOff() {
+	a.on = false
+	if !a.running {
+		return
+	}
+	a.node.sched.Schedule(a.expDelay(a.meanOff), a.enterOn)
+}
+
+func (a *OnOffApp) emit() {
+	if !a.running || !a.on {
+		return
+	}
+	a.sock.SendPadded(a.dst, nil, a.packetBytes)
+	a.PacketsSent++
+	wire := (&Packet{Proto: ProtoUDP, Dst: a.dst, Pad: a.packetBytes}).Size()
+	a.node.sched.Schedule(a.rate.TxTime(wire), a.emit)
+}

@@ -1,0 +1,55 @@
+// Package netsim is DDoSim's packet-level network simulator — the role
+// NS-3 plays in the paper. It models nodes joined by full-duplex
+// point-to-point links with finite data rates, propagation delay, and
+// drop-tail queues; IPv4 and IPv6 addressing (including the IPv6
+// multicast delivery the Dnsmasq exploit requires); UDP datagrams; a
+// simplified reliable TCP for C&C, HTTP, and telnet traffic; and a
+// customizable sink node used as the attack target (TServer).
+//
+// The simulator is single-threaded and event-driven on top of
+// internal/sim, so runs are deterministic.
+package netsim
+
+import (
+	"fmt"
+
+	"ddosim/internal/sim"
+)
+
+// DataRate is a link or device transmission rate in bits per second.
+type DataRate int64
+
+// Convenience rate constants.
+const (
+	BitPerSec DataRate = 1
+	Kbps               = 1000 * BitPerSec
+	Mbps               = 1000 * Kbps
+	Gbps               = 1000 * Mbps
+)
+
+// TxTime reports the serialization delay for a frame of the given size
+// in bytes at this rate.
+func (r DataRate) TxTime(bytes int) sim.Time {
+	if r <= 0 {
+		panic("netsim: non-positive data rate")
+	}
+	bits := int64(bytes) * 8
+	return sim.Time(bits * int64(sim.Second) / int64(r))
+}
+
+// BytesPerSecond reports the rate in bytes per second.
+func (r DataRate) BytesPerSecond() float64 { return float64(r) / 8 }
+
+// String renders the rate using the largest fitting unit.
+func (r DataRate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Mbps && r%Mbps == 0:
+		return fmt.Sprintf("%dMbps", r/Mbps)
+	case r >= Kbps && r%Kbps == 0:
+		return fmt.Sprintf("%dkbps", r/Kbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}

@@ -1,0 +1,201 @@
+package netsim
+
+import (
+	"ddosim/internal/sim"
+)
+
+// DeviceStats aggregates per-device counters. The resource model and
+// the defense feature extractor both read these.
+type DeviceStats struct {
+	TxPackets   uint64
+	TxBytes     uint64
+	RxPackets   uint64
+	RxBytes     uint64
+	QueueDrops  uint64
+	DownDrops   uint64
+	LossDrops   uint64
+	PeakQueue   int
+	CurrentLoad int
+}
+
+// NetDevice is one endpoint of a full-duplex point-to-point link. It
+// owns a drop-tail egress queue and models serialization delay at its
+// configured rate plus the link's propagation delay — the same
+// first-order behaviour as an NS-3 PointToPointNetDevice.
+//
+// A NetDevice doubles as the "TapBridge ghost node" of the paper: a
+// container's eth0 is bound to one of these, giving its processes the
+// illusion of a direct attachment to the simulated network.
+type NetDevice struct {
+	node  *Node
+	peer  *NetDevice
+	sched *sim.Scheduler
+
+	rate  DataRate
+	delay sim.Time
+
+	queue        []*Packet
+	queueLimit   int
+	transmitting bool
+	up           bool
+	lossRate     float64
+
+	stats DeviceStats
+}
+
+// DefaultQueueLimit is the drop-tail queue depth in packets when a link
+// is created without an explicit limit. NS-3's default DropTailQueue is
+// 100 packets; the paper keeps the default.
+const DefaultQueueLimit = 100
+
+// Connect joins two nodes with a full-duplex link. Each direction
+// serializes at the respective sender's rate and is delayed by delay.
+// It returns the two endpoint devices, attached to a and b in order.
+func Connect(a, b *Node, rate DataRate, delay sim.Time, queueLimit int) (*NetDevice, *NetDevice) {
+	if queueLimit <= 0 {
+		queueLimit = DefaultQueueLimit
+	}
+	da := &NetDevice{node: a, sched: a.sched, rate: rate, delay: delay, queueLimit: queueLimit, up: true}
+	db := &NetDevice{node: b, sched: b.sched, rate: rate, delay: delay, queueLimit: queueLimit, up: true}
+	da.peer = db
+	db.peer = da
+	a.attach(da)
+	b.attach(db)
+	return da, db
+}
+
+// ConnectAsym joins two nodes with per-direction rates: rateAB applies
+// to frames a sends toward b, rateBA to the reverse direction.
+func ConnectAsym(a, b *Node, rateAB, rateBA DataRate, delay sim.Time, queueLimit int) (*NetDevice, *NetDevice) {
+	da, db := Connect(a, b, rateAB, delay, queueLimit)
+	db.rate = rateBA
+	return da, db
+}
+
+// Node reports the node this device is attached to.
+func (d *NetDevice) Node() *Node { return d.node }
+
+// Peer reports the device at the other end of the link.
+func (d *NetDevice) Peer() *NetDevice { return d.peer }
+
+// Rate reports the egress serialization rate.
+func (d *NetDevice) Rate() DataRate { return d.rate }
+
+// SetRate changes the egress serialization rate. Takes effect for the
+// next dequeued frame.
+func (d *NetDevice) SetRate(r DataRate) { d.rate = r }
+
+// Stats returns a copy of the device counters.
+func (d *NetDevice) Stats() DeviceStats {
+	st := d.stats
+	st.CurrentLoad = len(d.queue)
+	return st
+}
+
+// IsUp reports whether the device is administratively up.
+func (d *NetDevice) IsUp() bool { return d.up }
+
+// SetUp brings the device up or down. Bringing a device down flushes
+// its egress queue and silently discards anything in flight toward it;
+// this is how churn disconnects a Dev.
+func (d *NetDevice) SetUp(up bool) {
+	if d.up == up {
+		return
+	}
+	d.up = up
+	if !up {
+		d.node.net.addQueued(-len(d.queue))
+		d.queue = nil
+		d.transmitting = false
+	}
+}
+
+// Send enqueues a frame for transmission. The frame is dropped when the
+// device is down or the drop-tail queue is full.
+func (d *NetDevice) Send(pkt *Packet) {
+	if !d.up {
+		d.stats.DownDrops++
+		return
+	}
+	if len(d.queue) >= d.queueLimit {
+		d.stats.QueueDrops++
+		d.node.net.countDrop()
+		return
+	}
+	d.queue = append(d.queue, pkt)
+	d.node.net.addQueued(1)
+	if len(d.queue) > d.stats.PeakQueue {
+		d.stats.PeakQueue = len(d.queue)
+	}
+	if !d.transmitting {
+		d.transmitNext()
+	}
+}
+
+func (d *NetDevice) transmitNext() {
+	if !d.up || len(d.queue) == 0 {
+		d.transmitting = false
+		return
+	}
+	d.transmitting = true
+	pkt := d.queue[0]
+	txTime := d.rate.TxTime(pkt.Size())
+	d.sched.Schedule(txTime, func() {
+		if !d.up {
+			// Went down mid-transmission; queue was already flushed.
+			d.transmitting = false
+			return
+		}
+		if len(d.queue) == 0 || d.queue[0] != pkt {
+			// Defensive: queue was flushed and refilled while down/up.
+			d.transmitting = false
+			return
+		}
+		d.queue[0] = nil
+		d.queue = d.queue[1:]
+		d.node.net.addQueued(-1)
+		d.stats.TxPackets++
+		d.stats.TxBytes += uint64(pkt.Size())
+		d.node.net.countTx(pkt.Size())
+		peer := d.peer
+		d.sched.Schedule(d.delay, func() { peer.receive(pkt) })
+		d.transmitNext()
+	})
+}
+
+// SetLossRate makes the device drop each received frame independently
+// with probability p — modeling degraded link quality (the q(h) of the
+// churn model, §IV-A) below the threshold of full departure.
+func (d *NetDevice) SetLossRate(p float64) {
+	if p < 0 || p >= 1 {
+		panic("netsim: loss rate must be in [0,1)")
+	}
+	d.lossRate = p
+}
+
+// LossRate reports the configured receive-loss probability.
+func (d *NetDevice) LossRate() float64 { return d.lossRate }
+
+func (d *NetDevice) receive(pkt *Packet) {
+	if !d.up {
+		d.stats.DownDrops++
+		return
+	}
+	if d.lossRate > 0 && d.sched.RNG().Float64() < d.lossRate {
+		d.stats.LossDrops++
+		d.node.net.countDrop()
+		return
+	}
+	d.stats.RxPackets++
+	d.stats.RxBytes += uint64(pkt.Size())
+	d.node.handleReceive(d, pkt)
+}
+
+// String identifies the device by its owning node in traces.
+// Addressing lives on nodes, not devices.
+func (d *NetDevice) String() string {
+	if d.node != nil {
+		return "dev@" + d.node.Name()
+	}
+	return "dev@?"
+}

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Protocol identifies the transport protocol carried by a Packet.
+type Protocol uint8
+
+// Supported transport protocols.
+const (
+	ProtoUDP Protocol = iota + 1
+	ProtoTCP
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoUDP:
+		return "udp"
+	case ProtoTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Header size constants used to compute wire sizes, mirroring the real
+// encapsulation NS-3 applies.
+const (
+	etherHeaderBytes = 14
+	ipv4HeaderBytes  = 20
+	ipv6HeaderBytes  = 40
+	udpHeaderBytes   = 8
+	tcpHeaderBytes   = 20
+)
+
+// TCPFlags is the bitset of TCP control flags on a segment.
+type TCPFlags uint8
+
+// TCP control flags.
+const (
+	FlagSYN TCPFlags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// TCPHeader carries the fields of the simplified TCP implementation.
+// Seq and Ack count bytes, as in real TCP.
+type TCPHeader struct {
+	Flags TCPFlags
+	Seq   uint32
+	Ack   uint32
+}
+
+// Packet is a simulated network packet. Payload holds the real
+// application bytes (exploit payloads must survive transit verbatim);
+// Pad adds virtual payload bytes that occupy wire capacity without
+// being materialized, which keeps multi-gigabyte floods cheap to
+// simulate.
+type Packet struct {
+	UID     uint64
+	Proto   Protocol
+	Src     netip.AddrPort
+	Dst     netip.AddrPort
+	Payload []byte
+	Pad     int
+	TCP     *TCPHeader
+}
+
+// PayloadSize reports the application-layer size in bytes, including
+// virtual padding.
+func (p *Packet) PayloadSize() int { return len(p.Payload) + p.Pad }
+
+// Size reports the on-wire frame size in bytes: L2 + L3 + L4 headers
+// plus the application payload.
+func (p *Packet) Size() int {
+	size := etherHeaderBytes + p.PayloadSize()
+	if p.Dst.Addr().Is6() {
+		size += ipv6HeaderBytes
+	} else {
+		size += ipv4HeaderBytes
+	}
+	switch p.Proto {
+	case ProtoTCP:
+		size += tcpHeaderBytes
+	default:
+		size += udpHeaderBytes
+	}
+	return size
+}
+
+// Clone returns a deep copy of the packet. Multicast fan-out clones so
+// that each recipient owns its payload.
+func (p *Packet) Clone() *Packet {
+	cp := *p
+	if p.Payload != nil {
+		cp.Payload = make([]byte, len(p.Payload))
+		copy(cp.Payload, p.Payload)
+	}
+	if p.TCP != nil {
+		hdr := *p.TCP
+		cp.TCP = &hdr
+	}
+	return &cp
+}
+
+// String renders a compact single-line description for traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %s->%s len=%d", p.Proto, p.Src, p.Dst, p.PayloadSize())
+}

@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"ddosim/internal/sim"
+)
+
+// The paper analyzes TServer traffic with Wireshark (hardware
+// scenario) and through NS-3's customizable node (simulation). This
+// file provides the equivalents: a packet capture and a per-flow
+// monitor, both attachable to any node.
+
+// CaptureEntry is one captured packet record.
+type CaptureEntry struct {
+	At    sim.Time
+	Proto Protocol
+	Src   netip.AddrPort
+	Dst   netip.AddrPort
+	Bytes int
+}
+
+// Capture records packets delivered at a node, like tcpdump with a
+// ring buffer.
+type Capture struct {
+	entries []CaptureEntry
+	max     int
+	dropped uint64
+	total   uint64
+}
+
+// StartCapture installs a capture on node keeping at most max entries
+// (older entries are discarded first); max <= 0 keeps everything.
+func StartCapture(node *Node, max int) *Capture {
+	c := &Capture{max: max}
+	node.AddTap(func(at sim.Time, pkt *Packet) {
+		c.total++
+		if c.max > 0 && len(c.entries) >= c.max {
+			copy(c.entries, c.entries[1:])
+			c.entries = c.entries[:len(c.entries)-1]
+			c.dropped++
+		}
+		c.entries = append(c.entries, CaptureEntry{
+			At:    at,
+			Proto: pkt.Proto,
+			Src:   pkt.Src,
+			Dst:   pkt.Dst,
+			Bytes: pkt.PayloadSize(),
+		})
+	})
+	return c
+}
+
+// Entries returns the captured records in arrival order (a copy).
+func (c *Capture) Entries() []CaptureEntry {
+	out := make([]CaptureEntry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// Total reports how many packets were observed, including any that
+// rolled out of the ring.
+func (c *Capture) Total() uint64 { return c.total }
+
+// Dropped reports how many records rolled out of the ring.
+func (c *Capture) Dropped() uint64 { return c.dropped }
+
+// FilterProto returns the captured records of one protocol.
+func (c *Capture) FilterProto(p Protocol) []CaptureEntry {
+	var out []CaptureEntry
+	for _, e := range c.entries {
+		if e.Proto == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BytesBetween sums payload bytes captured in [from, to).
+func (c *Capture) BytesBetween(from, to sim.Time) uint64 {
+	var sum uint64
+	for _, e := range c.entries {
+		if e.At >= from && e.At < to {
+			sum += uint64(e.Bytes)
+		}
+	}
+	return sum
+}
+
+// String renders a short tcpdump-style listing (first entries only).
+func (c *Capture) String() string {
+	var b strings.Builder
+	for i, e := range c.entries {
+		if i >= 20 {
+			fmt.Fprintf(&b, "... %d more\n", len(c.entries)-i)
+			break
+		}
+		fmt.Fprintf(&b, "%s %s %s > %s len=%d\n", e.At, e.Proto, e.Src, e.Dst, e.Bytes)
+	}
+	return b.String()
+}
+
+// FlowKey identifies a unidirectional transport flow.
+type FlowKey struct {
+	Proto Protocol
+	Src   netip.AddrPort
+	Dst   netip.AddrPort
+}
+
+// FlowStats aggregates one flow.
+type FlowStats struct {
+	Packets uint64
+	Bytes   uint64
+	First   sim.Time
+	Last    sim.Time
+}
+
+// Rate reports the flow's mean payload rate in kbps over its
+// lifetime.
+func (f FlowStats) Rate() float64 {
+	span := (f.Last - f.First).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(f.Bytes) * 8 / 1000 / span
+}
+
+// FlowMonitor aggregates per-flow statistics at a node — the NS-3
+// FlowMonitor counterpart, and the data source for the paper's
+// "examine packets and a wide assortment of network metrics".
+type FlowMonitor struct {
+	flows map[FlowKey]*FlowStats
+}
+
+// InstallFlowMonitor attaches a monitor to node.
+func InstallFlowMonitor(node *Node) *FlowMonitor {
+	m := &FlowMonitor{flows: make(map[FlowKey]*FlowStats)}
+	node.AddTap(func(at sim.Time, pkt *Packet) {
+		key := FlowKey{Proto: pkt.Proto, Src: pkt.Src, Dst: pkt.Dst}
+		st := m.flows[key]
+		if st == nil {
+			st = &FlowStats{First: at}
+			m.flows[key] = st
+		}
+		st.Packets++
+		st.Bytes += uint64(pkt.PayloadSize())
+		st.Last = at
+	})
+	return m
+}
+
+// FlowCount reports the number of distinct flows observed.
+func (m *FlowMonitor) FlowCount() int { return len(m.flows) }
+
+// Flow returns the stats for one flow.
+func (m *FlowMonitor) Flow(key FlowKey) (FlowStats, bool) {
+	st, ok := m.flows[key]
+	if !ok {
+		return FlowStats{}, false
+	}
+	return *st, true
+}
+
+// TopTalkers returns the n flows with the most bytes, descending.
+func (m *FlowMonitor) TopTalkers(n int) []struct {
+	Key   FlowKey
+	Stats FlowStats
+} {
+	type pair struct {
+		Key   FlowKey
+		Stats FlowStats
+	}
+	all := make([]pair, 0, len(m.flows))
+	for k, st := range m.flows {
+		all = append(all, pair{Key: k, Stats: *st})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Stats.Bytes != all[j].Stats.Bytes {
+			return all[i].Stats.Bytes > all[j].Stats.Bytes
+		}
+		return all[i].Key.Src.String() < all[j].Key.Src.String()
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Key   FlowKey
+		Stats FlowStats
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Key   FlowKey
+			Stats FlowStats
+		}{all[i].Key, all[i].Stats}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package procvm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanaryBlocksROPChain(t *testing.T) {
+	os := &fakeOS{}
+	p := NewProc(testProgram(), Protections{WX: true, Canary: true}, rand.New(rand.NewSource(1)), os)
+	out := p.ParseUntrusted(ropPayload(p.TextBase(), "evil"), testBufSize)
+	if out.ExecutedShell != "" || len(os.execed) != 0 {
+		t.Fatalf("chain executed despite canary: %+v", out)
+	}
+	if out.Fault == nil || out.Fault.Kind != FaultCanary {
+		t.Fatalf("fault = %v, want canary abort", out.Fault)
+	}
+	if !out.Hijacked {
+		t.Fatal("smash attempt not flagged")
+	}
+	if p.Alive() {
+		t.Fatal("process alive after __stack_chk_fail")
+	}
+}
+
+func TestCanaryBlocksShellcodeInjection(t *testing.T) {
+	os := &fakeOS{}
+	p := NewProc(testProgram(), Protections{Canary: true}, rand.New(rand.NewSource(1)), os)
+	var b bytes.Buffer
+	sc := EncodeShellcode("evil")
+	b.Write(sc)
+	b.Write(bytes.Repeat([]byte{0x90}, testBufSize-len(sc)))
+	b.Write(U64(0)) // clobbers the canary slot
+	b.Write(U64(0))
+	b.Write(U64(DefaultBufAddr()))
+	out := p.ParseUntrusted(b.Bytes(), testBufSize)
+	if out.ExecutedShell != "" {
+		t.Fatal("shellcode executed despite canary")
+	}
+	if out.Fault == nil || out.Fault.Kind != FaultCanary {
+		t.Fatalf("fault = %v", out.Fault)
+	}
+}
+
+func TestCanaryAllowsBenignInput(t *testing.T) {
+	p := NewProc(testProgram(), Protections{WX: true, ASLR: true, Canary: true}, rand.New(rand.NewSource(1)), nil)
+	for i := 0; i < 5; i++ {
+		out := p.ParseUntrusted([]byte("a perfectly normal answer"), testBufSize)
+		if out.Hijacked || out.Crashed() {
+			t.Fatalf("benign parse %d: %+v", i, out)
+		}
+	}
+	if !p.Alive() {
+		t.Fatal("daemon died on benign traffic")
+	}
+}
+
+func TestCanaryValuesDiffer(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for seed := int64(0); seed < 8; seed++ {
+		p := NewProc(testProgram(), Protections{Canary: true}, rand.New(rand.NewSource(seed)), nil)
+		if p.canary == 0 {
+			t.Fatal("zero canary")
+		}
+		if p.canary&0xff != 0 {
+			t.Fatalf("canary %#x low byte not NUL", p.canary)
+		}
+		seen[p.canary] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("canaries barely vary: %d distinct of 8", len(seen))
+	}
+}
+
+// Property: with the canary on, no payload longer than the buffer ever
+// reaches gadget execution — it either aborts on the cookie check or
+// faults outright.
+func TestPropertyCanaryStopsAllOverflows(t *testing.T) {
+	prog := testProgram()
+	f := func(seed int64, payload []byte) bool {
+		if len(payload) <= testBufSize {
+			return true // in-bounds input is out of scope here
+		}
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		os := &fakeOS{}
+		p := NewProc(prog, Protections{Canary: true}, rand.New(rand.NewSource(seed)), os)
+		out := p.ParseUntrusted(payload, testBufSize)
+		return out.ExecutedShell == "" && len(os.execed) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package procvm simulates a process address space at the level of
+// detail memory-error exploitation needs: mapped regions with
+// read/write/execute permissions, ASLR base randomization, a call stack
+// whose frames hold a fixed-size buffer, a saved frame pointer, and a
+// return address, and a gadget interpreter that executes
+// return-oriented-programming chains.
+//
+// This is the substitute for running real vulnerable Connman/Dnsmasq
+// binaries inside Docker (§III of the paper): the daemons in
+// internal/binaries parse attacker-controlled input through a procvm
+// stack frame, so a crafted payload genuinely overwrites a simulated
+// return address and hijacks control flow — or genuinely faults when
+// W^X or ASLR defeats the attempt.
+package procvm
+
+import "fmt"
+
+// FaultKind classifies a memory fault.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultUnmapped: access to an address in no mapped region.
+	FaultUnmapped FaultKind = iota + 1
+	// FaultPerm: access violating a region's permissions (e.g. write
+	// to text).
+	FaultPerm
+	// FaultNX: control transfer into a region without execute
+	// permission — what W^X turns a code-injection attempt into.
+	FaultNX
+	// FaultBadInstruction: control transfer to an executable address
+	// holding no gadget (garbage ROP chain, e.g. built for the wrong
+	// ASLR base).
+	FaultBadInstruction
+	// FaultRunaway: the ROP machine exceeded its step budget.
+	FaultRunaway
+	// FaultCanary: the stack protector detected a clobbered canary on
+	// function return (__stack_chk_fail) and aborted the process.
+	FaultCanary
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "SIGSEGV (unmapped)"
+	case FaultPerm:
+		return "SIGSEGV (permission)"
+	case FaultNX:
+		return "SIGSEGV (NX violation)"
+	case FaultBadInstruction:
+		return "SIGILL (bad instruction)"
+	case FaultRunaway:
+		return "runaway chain"
+	case FaultCanary:
+		return "SIGABRT (stack smashing detected)"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// Fault describes a crash of the simulated process. It implements
+// error.
+type Fault struct {
+	Kind FaultKind
+	Addr uint64
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("procvm: %s at %#x", f.Kind, f.Addr)
+}

@@ -1,0 +1,110 @@
+package procvm
+
+// Register indices for the simplified x86-64 register file.
+const (
+	RDI = iota
+	RSI
+	RDX
+	RAX
+	RBP
+	NumRegs
+)
+
+// Op is a single micro-operation inside a gadget. A real ROP gadget is
+// a short instruction sequence ending in ret; ours is a short Op
+// sequence with an implicit trailing ret (the machine pops the next
+// chain entry after the last op unless the gadget diverted control).
+type Op interface{ op() }
+
+// OpPop pops the next 8-byte stack word into a register —
+// the `pop rdi; ret` style gadget.
+type OpPop struct{ Reg int }
+
+// OpLeaStack sets Reg to SP+Off, mirroring `lea rdi, [rsp+K]; ret`
+// gadgets. This is how the exploit references the command string it
+// smuggled onto the stack without knowing absolute stack addresses —
+// the trick that keeps the chain working under stack ASLR.
+type OpLeaStack struct {
+	Reg int
+	Off uint64
+}
+
+// OpMovImm loads an immediate into a register.
+type OpMovImm struct {
+	Reg int
+	Val uint64
+}
+
+// OpSysExecShell performs the paper's
+// execlp("sh", "sh", "-c", cmd, NULL) system call: it reads the
+// NUL-terminated command at the address in RDI and hands it to the
+// process's operating system. The process image is replaced, ending
+// the chain.
+type OpSysExecShell struct{}
+
+// OpSysExit terminates the process with the status in RDI.
+type OpSysExit struct{}
+
+// OpCrash models a gadget whose side effects corrupt state and fault —
+// what usually happens when a chain built for the wrong address layout
+// lands in the middle of a real instruction.
+type OpCrash struct{}
+
+func (OpPop) op()          {}
+func (OpLeaStack) op()     {}
+func (OpMovImm) op()       {}
+func (OpSysExecShell) op() {}
+func (OpSysExit) op()      {}
+func (OpCrash) op()        {}
+
+// Gadget is a named op sequence located at a fixed offset inside a
+// program's text segment.
+type Gadget struct {
+	Name string
+	Ops  []Op
+}
+
+// Program describes an executable image: the synthetic stand-in for a
+// stripped IoT binary. The attacker analyzes Programs offline (exactly
+// the paper's assumption) to harvest gadget offsets.
+type Program struct {
+	// Name identifies the binary, e.g. "connman-1.34".
+	Name string
+	// Arch is the instruction-set tag (x86_64, arm7, mips) used by
+	// Docker Buildx image selection.
+	Arch string
+	// PIE marks a position-independent executable. IoT daemons are
+	// overwhelmingly built non-PIE, which is what keeps ROP viable
+	// under ASLR.
+	PIE bool
+	// LinkBase is the text base address for non-PIE binaries.
+	LinkBase uint64
+	// TextSize is the extent of the text mapping.
+	TextSize uint64
+	// RetSite is the text offset of the benign return site of the
+	// vulnerable function; the saved return address initially points
+	// here.
+	RetSite uint64
+	// Gadgets maps text offsets to gadget definitions.
+	Gadgets map[uint64]Gadget
+	// SizeBytes is the on-disk size, used for container memory
+	// accounting.
+	SizeBytes int
+}
+
+// GadgetOffset finds the offset of the first gadget with the given
+// name. The bool result reports whether it was found.
+func (p *Program) GadgetOffset(name string) (uint64, bool) {
+	var best uint64
+	found := false
+	for off, g := range p.Gadgets {
+		if g.Name != name {
+			continue
+		}
+		if !found || off < best {
+			best = off
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,336 @@
+package procvm
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// Protections is the per-device memory-defense configuration of
+// §III-B: each Dev enables some subset of W^X and ASLR.
+type Protections struct {
+	// WX enforces Write XOR Execute: the stack is not executable.
+	WX bool
+	// ASLR randomizes the bases of position-independent mappings and
+	// the stack.
+	ASLR bool
+	// Canary places a random stack cookie between the vulnerable
+	// buffer and the saved return address (-fstack-protector). Any
+	// overflow deep enough to reach the return address clobbers it,
+	// and the return check aborts the process before the hijack.
+	Canary bool
+}
+
+// OS is the interface through which hijacked code reaches the outside
+// world. The container runtime implements it; tests use fakes.
+type OS interface {
+	// ExecShell replaces the process with `sh -c cmd`.
+	ExecShell(cmd string)
+	// Exit terminates the process with a status code.
+	Exit(code int)
+}
+
+// Fixed layout constants. The stack sits high; non-PIE text low, as in
+// a classic x86-64 Linux process.
+const (
+	defaultStackBase = 0x7ffd_0000_0000
+	defaultStackSize = 1 << 20
+	pieSlots         = 1 << 16 // number of distinct ASLR bases
+	pieGranularity   = 1 << 12 // page-aligned bases
+	pieFloor         = 0x5555_0000_0000
+)
+
+// shellcodeMagic marks simulated injected shellcode: when control
+// transfers into an executable stack and these bytes follow, the
+// "shellcode" runs the command after the marker. With W^X on, the same
+// transfer faults with FaultNX instead.
+var shellcodeMagic = []byte{0x90, 0x90, 0xcc, 0x53, 0x43} // nop nop int3 'S' 'C'
+
+// HijackOutcome reports what a parse of attacker-controlled input did
+// to the process.
+type HijackOutcome struct {
+	// Hijacked reports whether the saved return address was
+	// overwritten at all.
+	Hijacked bool
+	// ExecutedShell is the command passed to OS.ExecShell when the
+	// chain reached an exec syscall.
+	ExecutedShell string
+	// Fault is non-nil when the process crashed.
+	Fault *Fault
+}
+
+// Crashed reports whether the process died.
+func (o HijackOutcome) Crashed() bool { return o.Fault != nil }
+
+// Proc is a simulated process: an address space, a register file, and
+// the gadget machine. One Proc backs one daemon instance.
+type Proc struct {
+	prog *Program
+	prot Protections
+	os   OS
+
+	as       *AddressSpace
+	regs     [NumRegs]uint64
+	textBase uint64
+	stack    *Region
+	sp       uint64
+	canary   uint64
+
+	alive bool
+}
+
+// NewProc maps a program into a fresh address space under the given
+// protections. rng drives ASLR placement (it must come from the
+// simulation scheduler for determinism).
+func NewProc(prog *Program, prot Protections, rng *rand.Rand, os OS) *Proc {
+	p := &Proc{prog: prog, prot: prot, os: os, as: &AddressSpace{}, alive: true}
+
+	p.textBase = prog.LinkBase
+	if prog.PIE && prot.ASLR {
+		p.textBase = pieFloor + uint64(rng.Intn(pieSlots))*pieGranularity
+	}
+	p.as.Map("text:"+prog.Name, p.textBase, prog.TextSize, PermRead|PermExec)
+
+	stackBase := uint64(defaultStackBase)
+	if prot.ASLR {
+		stackBase -= uint64(rng.Intn(pieSlots)) * pieGranularity
+	}
+	stackPerm := PermRead | PermWrite
+	if !prot.WX {
+		stackPerm |= PermExec
+	}
+	p.stack = p.as.Map("stack", stackBase, defaultStackSize, stackPerm)
+	// Leave headroom above SP so an overflowing copy has somewhere to
+	// land before running off the mapping.
+	p.sp = stackBase + defaultStackSize/2
+
+	if prot.Canary {
+		// glibc-style: a random cookie whose low byte is NUL so that
+		// string operations cannot leak or write past it.
+		p.canary = (uint64(rng.Int63()) << 8) | 0
+	}
+	return p
+}
+
+// TextBase reports where the text segment actually landed — equal to
+// the link base for non-PIE programs, randomized under PIE+ASLR.
+func (p *Proc) TextBase() uint64 { return p.textBase }
+
+// Program reports the loaded program.
+func (p *Proc) Program() *Program { return p.prog }
+
+// Protections reports the process's memory defenses.
+func (p *Proc) Protections() Protections { return p.prot }
+
+// Alive reports whether the process has not crashed or exited.
+func (p *Proc) Alive() bool { return p.alive }
+
+// Kill marks the process dead (used by Mirai's rival-killing and by
+// the container runtime).
+func (p *Proc) Kill() { p.alive = false }
+
+// ParseUntrusted models the vulnerable parser shared by Connman's DNS
+// response handling (CVE-2017-12865) and Dnsmasq's DHCPv6 RELAY-FORW
+// handling (CVE-2017-14493): the caller pushes a frame with a
+// fixed-size stack buffer and memcpys attacker bytes into it without a
+// bounds check. If the copy stays inside the buffer the function
+// returns normally; if it overwrote the return address, returning
+// dispatches wherever the attacker pointed.
+func (p *Proc) ParseUntrusted(data []byte, bufSize int) HijackOutcome {
+	if !p.alive {
+		return HijackOutcome{}
+	}
+	// Frame layout (descending stack, addresses ascending):
+	//   [buf bufSize][canary 8?][saved RBP 8][return address 8][...]
+	bufAddr := p.sp
+	slot := bufAddr + uint64(bufSize)
+	canaryAddr := uint64(0)
+	if p.prot.Canary {
+		canaryAddr = slot
+		if f := p.as.WriteU64(canaryAddr, p.canary); f != nil {
+			return p.crash(f)
+		}
+		slot += 8
+	}
+	savedRBPAddr := slot
+	retAddr := savedRBPAddr + 8
+
+	benignRet := p.textBase + p.prog.RetSite
+	if f := p.as.WriteU64(retAddr, benignRet); f != nil {
+		return p.crash(f)
+	}
+
+	// The unbounded copy.
+	if f := p.as.Write(bufAddr, data); f != nil {
+		// Payload so large it ran off the stack mapping: instant crash.
+		return p.crash(f)
+	}
+
+	// Epilogue: the stack protector checks its cookie before ret.
+	if p.prot.Canary {
+		v, f := p.as.ReadU64(canaryAddr)
+		if f != nil {
+			return p.crash(f)
+		}
+		if v != p.canary {
+			out := p.crash(&Fault{Kind: FaultCanary, Addr: canaryAddr})
+			out.Hijacked = len(data) > bufSize // the smash was detected, not survived
+			return out
+		}
+	}
+
+	ret, f := p.as.ReadU64(retAddr)
+	if f != nil {
+		return p.crash(f)
+	}
+	if ret == benignRet {
+		return HijackOutcome{} // in-bounds input; normal return
+	}
+
+	// Control-flow hijack: run the ROP machine with SP just past the
+	// return slot, where the rest of the attacker's chain lives.
+	p.sp = retAddr + 8
+	out := p.runChain(ret)
+	out.Hijacked = true
+	return out
+}
+
+func (p *Proc) crash(f *Fault) HijackOutcome {
+	p.alive = false
+	return HijackOutcome{Fault: f}
+}
+
+// pop reads the next chain entry and advances SP.
+func (p *Proc) pop() (uint64, *Fault) {
+	v, f := p.as.ReadU64(p.sp)
+	if f != nil {
+		return 0, f
+	}
+	p.sp += 8
+	return v, nil
+}
+
+const maxChainSteps = 256
+
+// runChain is the ROP machine: repeatedly transfer control to the
+// popped address and interpret the gadget found there.
+func (p *Proc) runChain(ip uint64) HijackOutcome {
+	for step := 0; step < maxChainSteps; step++ {
+		reg := p.as.RegionAt(ip)
+		if reg == nil {
+			return p.crash(&Fault{Kind: FaultUnmapped, Addr: ip})
+		}
+		if reg.Perm&PermExec == 0 {
+			// Return-to-stack (code injection) with W^X on, or a
+			// return into data: NX stops it.
+			return p.crash(&Fault{Kind: FaultNX, Addr: ip})
+		}
+		if reg == p.stack {
+			// Executable stack (W^X off): interpret injected bytes.
+			return p.runShellcode(ip)
+		}
+		gadget, ok := p.gadgetAt(ip)
+		if !ok {
+			return p.crash(&Fault{Kind: FaultBadInstruction, Addr: ip})
+		}
+		done, out := p.execGadget(gadget)
+		if done {
+			return out
+		}
+		next, f := p.pop()
+		if f != nil {
+			return p.crash(f)
+		}
+		ip = next
+	}
+	return p.crash(&Fault{Kind: FaultRunaway, Addr: ip})
+}
+
+func (p *Proc) gadgetAt(ip uint64) (Gadget, bool) {
+	off := ip - p.textBase
+	g, ok := p.prog.Gadgets[off]
+	return g, ok
+}
+
+// execGadget interprets one gadget. done=true means the chain ended
+// (syscall that never returns, or a fault).
+func (p *Proc) execGadget(g Gadget) (done bool, out HijackOutcome) {
+	for _, op := range g.Ops {
+		switch o := op.(type) {
+		case OpPop:
+			v, f := p.pop()
+			if f != nil {
+				return true, p.crash(f)
+			}
+			p.regs[o.Reg] = v
+		case OpLeaStack:
+			p.regs[o.Reg] = p.sp + o.Off
+		case OpMovImm:
+			p.regs[o.Reg] = o.Val
+		case OpSysExecShell:
+			cmd, f := p.as.ReadCString(p.regs[RDI], 4096)
+			if f != nil {
+				return true, p.crash(f)
+			}
+			p.alive = false // execlp replaces the image
+			if p.os != nil {
+				p.os.ExecShell(cmd)
+			}
+			return true, HijackOutcome{ExecutedShell: cmd}
+		case OpSysExit:
+			p.alive = false
+			if p.os != nil {
+				p.os.Exit(int(p.regs[RDI]))
+			}
+			return true, HijackOutcome{}
+		case OpCrash:
+			return true, p.crash(&Fault{Kind: FaultBadInstruction, Addr: p.sp})
+		default:
+			return true, p.crash(&Fault{Kind: FaultBadInstruction, Addr: p.sp})
+		}
+	}
+	return false, HijackOutcome{}
+}
+
+// runShellcode interprets injected stack bytes (only reachable when
+// the stack is executable).
+func (p *Proc) runShellcode(ip uint64) HijackOutcome {
+	head, f := p.as.Read(ip, len(shellcodeMagic))
+	if f != nil {
+		return p.crash(f)
+	}
+	for i, b := range shellcodeMagic {
+		if head[i] != b {
+			return p.crash(&Fault{Kind: FaultBadInstruction, Addr: ip})
+		}
+	}
+	cmd, f := p.as.ReadCString(ip+uint64(len(shellcodeMagic)), 4096)
+	if f != nil {
+		return p.crash(f)
+	}
+	p.alive = false
+	if p.os != nil {
+		p.os.ExecShell(cmd)
+	}
+	return HijackOutcome{ExecutedShell: cmd}
+}
+
+// EncodeShellcode renders the simulated injected-shellcode byte form
+// of a command; exploit builders targeting W^X-off devices use it.
+func EncodeShellcode(cmd string) []byte {
+	out := make([]byte, 0, len(shellcodeMagic)+len(cmd)+1)
+	out = append(out, shellcodeMagic...)
+	out = append(out, cmd...)
+	return append(out, 0)
+}
+
+// DefaultBufAddr reports where ParseUntrusted's stack buffer lands
+// when ASLR is disabled — the knowledge a code-injection exploit
+// against a no-ASLR device relies on.
+func DefaultBufAddr() uint64 { return defaultStackBase + defaultStackSize/2 }
+
+// U64 encodes v little-endian, the byte order chain entries use.
+func U64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}

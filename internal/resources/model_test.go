@@ -1,0 +1,113 @@
+package resources
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// framesFor approximates the attack-phase frames a fleet generates:
+// ~70 pps per Dev at the average 300 kbps with 554-byte frames, two
+// hops each.
+func framesFor(devs int, secs float64) uint64 {
+	return uint64(float64(devs) * 140 * secs)
+}
+
+func inputsFor(devs int) Inputs {
+	return Inputs{
+		Devs: devs,
+		PreAttack: Snapshot{
+			ContainerBytes: devs * 7_000_000, // ~7 MB per Dev container
+		},
+		PostAttack: Snapshot{
+			ContainerBytes: devs * 7_000_000,
+			TxFrames:       framesFor(devs, 100),
+			PeakQueued:     100 + devs,
+		},
+		CommandedSecs: 100,
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	// The calibrated model must reproduce Table I's shape: memory and
+	// attack time grow with Devs; attack memory exceeds pre-attack
+	// memory; attack time exceeds the commanded 100 s.
+	var prev Usage
+	for i, devs := range []int{20, 40, 70, 100, 130} {
+		u := Estimate(inputsFor(devs))
+		if u.AttackMemGB <= u.PreAttackMemGB {
+			t.Fatalf("devs=%d: attack mem %.2f <= pre-attack %.2f", devs, u.AttackMemGB, u.PreAttackMemGB)
+		}
+		if u.AttackTimeSecs <= 100 {
+			t.Fatalf("devs=%d: attack time %.0fs not inflated past 100s", devs, u.AttackTimeSecs)
+		}
+		if i > 0 {
+			if u.PreAttackMemGB <= prev.PreAttackMemGB ||
+				u.AttackMemGB <= prev.AttackMemGB ||
+				u.AttackTimeSecs <= prev.AttackTimeSecs {
+				t.Fatalf("devs=%d: columns not monotone: %+v vs %+v", devs, u, prev)
+			}
+		}
+		prev = u
+	}
+}
+
+func TestTableIBallpark(t *testing.T) {
+	// Within loose factors of the published endpoints.
+	u20 := Estimate(inputsFor(20))
+	if u20.PreAttackMemGB < 0.2 || u20.PreAttackMemGB > 0.7 {
+		t.Fatalf("20 devs pre-attack = %.2f GB, want ~0.38", u20.PreAttackMemGB)
+	}
+	if u20.AttackTimeSecs < 100 || u20.AttackTimeSecs > 200 {
+		t.Fatalf("20 devs attack time = %.0f s, want ~123", u20.AttackTimeSecs)
+	}
+	u130 := Estimate(inputsFor(130))
+	if u130.PreAttackMemGB < 0.8 || u130.PreAttackMemGB > 2.0 {
+		t.Fatalf("130 devs pre-attack = %.2f GB, want ~1.32", u130.PreAttackMemGB)
+	}
+	if u130.AttackMemGB < 2.0 || u130.AttackMemGB > 4.5 {
+		t.Fatalf("130 devs attack mem = %.2f GB, want ~3.11", u130.AttackMemGB)
+	}
+	if u130.AttackTimeSecs < 200 || u130.AttackTimeSecs > 420 {
+		t.Fatalf("130 devs attack time = %.0f s, want ~314", u130.AttackTimeSecs)
+	}
+}
+
+func TestAttackTimeMMSS(t *testing.T) {
+	u := Usage{AttackTimeSecs: 123}
+	if got := u.AttackTimeMMSS(); got != "2:03" {
+		t.Fatalf("m:ss = %q", got)
+	}
+	u = Usage{AttackTimeSecs: 314}
+	if got := u.AttackTimeMMSS(); got != "5:14" {
+		t.Fatalf("m:ss = %q", got)
+	}
+	u = Usage{AttackTimeSecs: 59.6}
+	if got := u.AttackTimeMMSS(); got != "1:00" {
+		t.Fatalf("rounding: %q", got)
+	}
+}
+
+func TestZeroCommandedSecs(t *testing.T) {
+	in := inputsFor(10)
+	in.CommandedSecs = 0
+	u := Estimate(in)
+	if u.AttackTimeSecs != 0 {
+		t.Fatalf("attack time = %v with zero duration", u.AttackTimeSecs)
+	}
+}
+
+// Property: more attack frames never decrease attack memory or attack
+// time.
+func TestPropertyMonotoneInFrames(t *testing.T) {
+	f := func(frames uint32, extra uint16) bool {
+		a := inputsFor(50)
+		a.PostAttack.TxFrames = uint64(frames)
+		b := a
+		b.PostAttack.TxFrames = uint64(frames) + uint64(extra)
+		ua, ub := Estimate(a), Estimate(b)
+		return ub.AttackMemGB >= ua.AttackMemGB && ub.AttackTimeSecs >= ua.AttackTimeSecs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

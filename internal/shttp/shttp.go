@@ -1,0 +1,217 @@
+// Package shttp is a minimal HTTP/1.0 implementation over netsim's
+// simulated TCP. It stands in for the Apache file server the paper
+// installs on Attacker and the curl invocations the infection script
+// performs: GET requests with Content-Length responses, nothing more.
+package shttp
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"ddosim/internal/netsim"
+)
+
+// Errors returned by the client.
+var (
+	ErrBadURL     = errors.New("shttp: malformed URL")
+	ErrBadStatus  = errors.New("shttp: non-200 status")
+	ErrBadReply   = errors.New("shttp: malformed response")
+	ErrConnFailed = errors.New("shttp: connection failed")
+)
+
+// DefaultPort is used when a URL carries no explicit port.
+const DefaultPort = 80
+
+// Handler resolves a request path to content. ok=false yields 404.
+type Handler func(path string) (body []byte, ok bool)
+
+// Server is a static-content HTTP server bound to a node — the File
+// Server sub-component of Attacker.
+type Server struct {
+	node     *netsim.Node
+	routes   map[string][]byte
+	fallback Handler
+
+	Requests uint64
+	NotFound uint64
+}
+
+// NewServer starts an HTTP server on node:port.
+func NewServer(node *netsim.Node, port uint16) (*Server, error) {
+	s := &Server{node: node, routes: make(map[string][]byte)}
+	if _, err := node.ListenTCP(port, s.accept); err != nil {
+		return nil, fmt.Errorf("shttp: listen: %w", err)
+	}
+	return s, nil
+}
+
+// Handle serves body at path.
+func (s *Server) Handle(path string, body []byte) { s.routes[path] = body }
+
+// HandleFunc installs a fallback handler consulted when no static
+// route matches.
+func (s *Server) HandleFunc(h Handler) { s.fallback = h }
+
+func (s *Server) accept(c *netsim.TCPConn) {
+	var buf []byte
+	c.SetDataHandler(func(data []byte) {
+		buf = append(buf, data...)
+		idx := strings.Index(string(buf), "\r\n\r\n")
+		if idx < 0 {
+			return
+		}
+		s.Requests++
+		path := parseRequestPath(string(buf[:idx]))
+		body, ok := s.lookup(path)
+		if !ok {
+			s.NotFound++
+			_ = c.Send([]byte("HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n"))
+			c.Close()
+			return
+		}
+		head := fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n", len(body))
+		_ = c.Send(append([]byte(head), body...))
+		c.Close()
+	})
+}
+
+func (s *Server) lookup(path string) ([]byte, bool) {
+	if body, ok := s.routes[path]; ok {
+		return body, true
+	}
+	if s.fallback != nil {
+		return s.fallback(path)
+	}
+	return nil, false
+}
+
+func parseRequestPath(head string) string {
+	line, _, _ := strings.Cut(head, "\r\n")
+	parts := strings.Fields(line)
+	if len(parts) < 2 || parts[0] != "GET" {
+		return ""
+	}
+	return parts[1]
+}
+
+// ParseURL splits an http:// URL into its endpoint and path. The host
+// must be an IP literal (the simulation has no global DNS; name
+// resolution is itself part of the experiment).
+func ParseURL(url string) (netip.AddrPort, string, error) {
+	rest, ok := strings.CutPrefix(url, "http://")
+	if !ok {
+		return netip.AddrPort{}, "", ErrBadURL
+	}
+	hostport, path, found := strings.Cut(rest, "/")
+	if !found {
+		path = ""
+	}
+	path = "/" + path
+	var ap netip.AddrPort
+	if strings.Contains(hostport, "]:") || (!strings.Contains(hostport, "[") && strings.Count(hostport, ":") == 1) {
+		p, err := netip.ParseAddrPort(hostport)
+		if err != nil {
+			return netip.AddrPort{}, "", fmt.Errorf("%w: %v", ErrBadURL, err)
+		}
+		ap = p
+	} else {
+		host := strings.TrimSuffix(strings.TrimPrefix(hostport, "["), "]")
+		a, err := netip.ParseAddr(host)
+		if err != nil {
+			return netip.AddrPort{}, "", fmt.Errorf("%w: %v", ErrBadURL, err)
+		}
+		ap = netip.AddrPortFrom(a, DefaultPort)
+	}
+	return ap, path, nil
+}
+
+// Get fetches url from node and invokes cb exactly once with the body
+// or an error.
+func Get(node *netsim.Node, url string, cb func(body []byte, err error)) {
+	ap, path, err := ParseURL(url)
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	done := false
+	finish := func(body []byte, err error) {
+		if done {
+			return
+		}
+		done = true
+		cb(body, err)
+	}
+	node.DialTCP(ap, func(c *netsim.TCPConn, err error) {
+		if err != nil {
+			finish(nil, fmt.Errorf("%w: %v", ErrConnFailed, err))
+			return
+		}
+		var buf []byte
+		var want = -1
+		var bodyStart int
+		c.SetDataHandler(func(data []byte) {
+			buf = append(buf, data...)
+			if want < 0 {
+				idx := strings.Index(string(buf), "\r\n\r\n")
+				if idx < 0 {
+					return
+				}
+				head := string(buf[:idx])
+				bodyStart = idx + 4
+				n, perr := parseResponseHead(head)
+				if perr != nil {
+					finish(nil, perr)
+					c.Close()
+					return
+				}
+				want = n
+			}
+			if want >= 0 && len(buf)-bodyStart >= want {
+				finish(buf[bodyStart:bodyStart+want], nil)
+				c.Close()
+			}
+		})
+		c.SetCloseHandler(func(cerr error) {
+			if want >= 0 && len(buf)-bodyStart >= want {
+				finish(buf[bodyStart:bodyStart+want], nil)
+				return
+			}
+			if cerr == nil {
+				cerr = ErrBadReply
+			}
+			finish(nil, cerr)
+		})
+		_ = c.Send([]byte("GET " + path + " HTTP/1.0\r\nHost: " + ap.String() + "\r\n\r\n"))
+	})
+}
+
+func parseResponseHead(head string) (contentLength int, err error) {
+	lines := strings.Split(head, "\r\n")
+	if len(lines) == 0 {
+		return 0, ErrBadReply
+	}
+	status := strings.Fields(lines[0])
+	if len(status) < 2 || !strings.HasPrefix(status[0], "HTTP/") {
+		return 0, ErrBadReply
+	}
+	if status[1] != "200" {
+		return 0, fmt.Errorf("%w: %s", ErrBadStatus, status[1])
+	}
+	for _, l := range lines[1:] {
+		k, v, ok := strings.Cut(l, ":")
+		if !ok {
+			continue
+		}
+		if strings.EqualFold(strings.TrimSpace(k), "Content-Length") {
+			n, cerr := strconv.Atoi(strings.TrimSpace(v))
+			if cerr != nil || n < 0 {
+				return 0, ErrBadReply
+			}
+			return n, nil
+		}
+	}
+	return 0, ErrBadReply
+}

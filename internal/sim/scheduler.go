@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by an
+// explicit call to Stop rather than by exhausting the event queue or
+// reaching the configured horizon.
+var ErrStopped = errors.New("sim: simulation stopped")
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+// event is a single queue entry. seq breaks ties between events that are
+// scheduled for the same instant so that insertion order is preserved —
+// the same FIFO-within-timestamp guarantee NS-3's scheduler provides.
+type event struct {
+	at     Time
+	seq    uint64
+	id     EventID
+	fn     func()
+	cancel bool
+}
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is the discrete-event engine. It is single-threaded and
+// deterministic: events execute in (time, insertion) order, and all
+// randomness flows through the seeded RNG it owns.
+//
+// The zero value is not usable; construct with NewScheduler.
+type Scheduler struct {
+	queue     eventQueue
+	now       Time
+	seq       uint64
+	nextID    EventID
+	live      map[EventID]*event
+	rng       *rand.Rand
+	stopped   bool
+	processed uint64
+}
+
+// NewScheduler returns a scheduler whose random source is seeded with
+// seed. Two schedulers built with the same seed drive identical runs.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{
+		live: make(map[EventID]*event),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// RNG exposes the scheduler's deterministic random source. All model
+// components must draw randomness from here, never from package-level
+// rand, to keep runs reproducible.
+func (s *Scheduler) RNG() *rand.Rand { return s.rng }
+
+// Processed reports how many events have executed so far. The resource
+// model uses this as a proxy for simulator workload (Table I).
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are queued and not cancelled.
+func (s *Scheduler) Pending() int { return len(s.live) }
+
+// Schedule queues fn to run after delay. A negative delay is treated as
+// zero (run at the current instant, after already-queued events for it).
+func (s *Scheduler) Schedule(delay Time, fn func()) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute time at. Times in the past are
+// clamped to the current instant.
+func (s *Scheduler) ScheduleAt(at Time, fn func()) EventID {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil fn")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	s.nextID++
+	ev := &event{at: at, seq: s.seq, id: s.nextID, fn: fn}
+	heap.Push(&s.queue, ev)
+	s.live[ev.id] = ev
+	return ev.id
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already ran
+// (or was already cancelled) is a no-op and reports false.
+func (s *Scheduler) Cancel(id EventID) bool {
+	ev, ok := s.live[id]
+	if !ok {
+		return false
+	}
+	ev.cancel = true
+	delete(s.live, id)
+	return true
+}
+
+// Stop halts the run loop after the currently-executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains, until an event at a time
+// strictly greater than until would execute, or until Stop is called.
+// On a Stop it returns ErrStopped; otherwise nil. The clock is left at
+// the later of its current value and until when the horizon is reached.
+func (s *Scheduler) Run(until Time) error {
+	if err := s.run(until); err != nil {
+		return err
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains or Stop is called, with
+// no time horizon. The clock is left at the time of the last executed
+// event. Useful in tests.
+func (s *Scheduler) RunAll() error {
+	return s.run(Time(int64(^uint64(0) >> 1)))
+}
+
+func (s *Scheduler) run(until Time) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		ev := s.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		if ev.cancel {
+			continue
+		}
+		delete(s.live, ev.id)
+		s.now = ev.at
+		s.processed++
+		ev.fn()
+	}
+	return nil
+}

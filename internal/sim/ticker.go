@@ -1,0 +1,70 @@
+package sim
+
+// Ticker repeatedly invokes a callback at a fixed simulated period until
+// stopped. It is the building block for periodic behaviours such as the
+// DHCPv6 exploit script, churn epochs, and daemon polling loops.
+type Ticker struct {
+	sched   *Scheduler
+	period  Time
+	fn      func()
+	pending EventID
+	running bool
+}
+
+// NewTicker creates a ticker bound to sched that fires fn every period.
+// The ticker starts stopped; call Start.
+func NewTicker(sched *Scheduler, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	if fn == nil {
+		panic("sim: ticker with nil fn")
+	}
+	return &Ticker{sched: sched, period: period, fn: fn}
+}
+
+// Start schedules the first tick one period from now. Starting a running
+// ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.running {
+		return
+	}
+	t.running = true
+	t.arm()
+}
+
+// StartImmediate fires the first tick at the current instant instead of
+// one period from now.
+func (t *Ticker) StartImmediate() {
+	if t.running {
+		return
+	}
+	t.running = true
+	t.pending = t.sched.Schedule(0, t.tick)
+}
+
+// Stop cancels any pending tick. The ticker may be restarted.
+func (t *Ticker) Stop() {
+	if !t.running {
+		return
+	}
+	t.running = false
+	t.sched.Cancel(t.pending)
+}
+
+// Running reports whether the ticker is armed.
+func (t *Ticker) Running() bool { return t.running }
+
+func (t *Ticker) arm() {
+	t.pending = t.sched.Schedule(t.period, t.tick)
+}
+
+func (t *Ticker) tick() {
+	if !t.running {
+		return
+	}
+	t.fn()
+	if t.running { // fn may have stopped us
+		t.arm()
+	}
+}
