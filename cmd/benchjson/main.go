@@ -1,0 +1,198 @@
+// Command benchjson runs the repository's benchmark workloads at
+// reduced scale and writes machine-readable BENCH_*.json files — the
+// CI-friendly counterpart of `go test -bench`. Each file holds one
+// suite: the end-to-end kill chain across fleet sizes (with the
+// observability layer's own accounting of where kernel time went) and
+// the raw discrete-event kernel throughput.
+//
+// Examples:
+//
+//	benchjson                 # write BENCH_killchain.json, BENCH_scheduler.json
+//	benchjson -out results/   # write them elsewhere
+//	benchjson -devs 10,50,100 -seeds 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ddosim/ddosim"
+	"ddosim/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// killChainRow is one end-to-end measurement: simulation outcomes plus
+// the cost of producing them.
+type killChainRow struct {
+	Devs            int     `json:"devs"`
+	Seed            int64   `json:"seed"`
+	WallMS          float64 `json:"wall_ms"`
+	SimSeconds      float64 `json:"sim_seconds"`
+	EventsProcessed uint64  `json:"events_processed"`
+	EventsPerSec    float64 `json:"events_per_wall_sec"`
+	PeakPending     int     `json:"peak_pending"`
+	WallNSPerSimSec int64   `json:"wall_ns_per_sim_sec"`
+	Infected        int     `json:"infected"`
+	DReceivedKbps   float64 `json:"d_received_kbps"`
+	TraceEvents     int     `json:"trace_events"`
+}
+
+// schedRow is one kernel-throughput measurement: a self-rescheduling
+// event chain with no simulation payload.
+type schedRow struct {
+	Events       int     `json:"events"`
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_wall_sec"`
+	NSPerEvent   float64 `json:"ns_per_event"`
+}
+
+type suite struct {
+	Name      string `json:"name"`
+	GoVersion string `json:"go_version"`
+	Rows      any    `json:"rows"`
+}
+
+func run() error {
+	var (
+		outDir   = flag.String("out", ".", "directory to write BENCH_*.json into")
+		devsList = flag.String("devs", "10,30,50", "comma-separated fleet sizes for the kill-chain suite")
+		seeds    = flag.Int("seeds", 1, "seeds per fleet size")
+	)
+	flag.Parse()
+
+	var devCounts []int
+	for _, s := range strings.Split(*devsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad -devs entry %q: %w", s, err)
+		}
+		devCounts = append(devCounts, n)
+	}
+
+	kill, err := benchKillChain(devCounts, *seeds)
+	if err != nil {
+		return err
+	}
+	if err := writeSuite(*outDir, "BENCH_killchain.json", "killchain", kill); err != nil {
+		return err
+	}
+	if err := writeSuite(*outDir, "BENCH_scheduler.json", "scheduler", benchScheduler()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// benchKillChain times one complete build-exploit-infect-flood-measure
+// cycle per (devs, seed), reading the kernel cost breakdown from the
+// run's own profiler.
+func benchKillChain(devCounts []int, seeds int) ([]killChainRow, error) {
+	var rows []killChainRow
+	for _, devs := range devCounts {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			cfg := ddosim.DefaultConfig(devs)
+			cfg.Seed = seed
+			cfg.SimDuration = 300 * ddosim.Second
+			cfg.AttackDuration = 30
+			cfg.RecruitTimeout = 60 * ddosim.Second
+
+			s, err := ddosim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			r, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start)
+
+			sum := r.Obs
+			row := killChainRow{
+				Devs:            devs,
+				Seed:            seed,
+				WallMS:          float64(wall.Microseconds()) / 1000,
+				SimSeconds:      cfg.SimDuration.Seconds(),
+				EventsProcessed: sum.EventsDelivered,
+				PeakPending:     sum.PeakPending,
+				WallNSPerSimSec: sum.WallNSPerSimSec,
+				Infected:        r.Infected,
+				DReceivedKbps:   r.DReceivedKbps,
+				TraceEvents:     sum.TraceEvents,
+			}
+			if secs := wall.Seconds(); secs > 0 {
+				row.EventsPerSec = float64(sum.EventsDelivered) / secs
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// benchScheduler measures raw kernel throughput: a chain of
+// self-rescheduling no-op events, the simulator's fundamental cost
+// floor.
+func benchScheduler() []schedRow {
+	var rows []schedRow
+	for _, events := range []int{100_000, 1_000_000} {
+		sched := sim.NewScheduler(1)
+		left := events
+		var tick func()
+		tick = func() {
+			left--
+			if left > 0 {
+				sched.Schedule(sim.Microsecond, tick)
+			}
+		}
+		sched.Schedule(0, tick)
+		start := time.Now()
+		if err := sched.RunAll(); err != nil {
+			continue
+		}
+		wall := time.Since(start)
+		row := schedRow{
+			Events: events,
+			WallMS: float64(wall.Microseconds()) / 1000,
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			row.EventsPerSec = float64(events) / secs
+			row.NSPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func writeSuite(dir, file, name string, rows any) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, file)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(suite{Name: name, GoVersion: runtime.Version(), Rows: rows}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

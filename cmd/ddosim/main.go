@@ -8,13 +8,17 @@
 //	ddosim -devs 20 -hardened            # PIE fleet: recruitment fails
 //	ddosim -devs 30 -json                # machine-readable output
 //	ddosim -devs 30 -timeline            # full kill-chain event log
+//	ddosim -devs 30 -trace run.trace.json   # open in Perfetto / chrome://tracing
+//	ddosim -devs 30 -metrics-out run.prom   # Prometheus-style counter dump
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ddosim/ddosim"
 	"ddosim/internal/report"
@@ -47,6 +51,8 @@ func run() error {
 		outDir    = flag.String("out", "", "directory to write series.csv and timeline.csv into")
 		timeline  = flag.Bool("timeline", false, "print the full event timeline")
 		spark     = flag.Bool("sparkline", false, "print a sparkline of the per-second rate")
+		traceOut  = flag.String("trace", "", "write the run trace to this file (Chrome trace_event JSON; a .jsonl extension selects JSONL)")
+		promOut   = flag.String("metrics-out", "", "write a Prometheus-style metrics dump to this file")
 	)
 	flag.Parse()
 
@@ -90,6 +96,21 @@ func run() error {
 		return err
 	}
 
+	if *traceOut != "" {
+		write := sim.Obs().Trace.WriteChromeTrace
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			write = sim.Obs().Trace.WriteJSONL
+		}
+		if err := writeTo(*traceOut, write); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	if *promOut != "" {
+		if err := writeTo(*promOut, sim.Obs().Metrics.WritePrometheus); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+
 	if *asJSON {
 		return report.FromResults(cfg, r, true).WriteJSON(os.Stdout)
 	}
@@ -111,6 +132,20 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeTo streams one observability artifact into a freshly created
+// file, keeping the close error (the last write may be buffered).
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeArtifacts(dir string, cfg ddosim.Config, r *ddosim.Results) error {

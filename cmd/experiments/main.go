@@ -9,6 +9,7 @@
 //	experiments -exp fig2 -seeds 5
 //	experiments -exp fig4 -quick
 //	experiments -exp all -csv results/
+//	experiments -exp fig2 -trace-dir traces/   # per-run Perfetto traces + metrics
 package main
 
 import (
@@ -31,14 +32,15 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2|fig3|table1|fig4|all")
-		seeds  = flag.Int("seeds", 3, "number of seeds to average over")
-		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		csvDir = flag.String("csv", "", "directory to write CSV files into (optional)")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|table1|fig4|all")
+		seeds    = flag.Int("seeds", 3, "number of seeds to average over")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		csvDir   = flag.String("csv", "", "directory to write CSV files into (optional)")
+		traceDir = flag.String("trace-dir", "", "directory to write per-run Chrome traces and metrics dumps into (optional)")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Quick: *quick}
+	opt := experiments.Options{Quick: *quick, TraceDir: *traceDir}
 	for s := 1; s <= *seeds; s++ {
 		opt.Seeds = append(opt.Seeds, int64(s))
 	}

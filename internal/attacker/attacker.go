@@ -18,6 +18,7 @@ import (
 	"ddosim/internal/exploit"
 	"ddosim/internal/mirai"
 	"ddosim/internal/netsim"
+	"ddosim/internal/obs"
 	"ddosim/internal/shttp"
 	"ddosim/internal/sim"
 )
@@ -44,6 +45,10 @@ type Config struct {
 	Bot mirai.BotConfig
 	// CNC configures the command-and-control server.
 	CNC mirai.CNCConfig
+	// Obs, when set, records exploit deliveries (DNS responses,
+	// DHCPv6 multicasts) as trace events and metrics, and is passed
+	// through to the C&C.
+	Obs *obs.Obs
 }
 
 // Attacker is the deployed component with handles to its
@@ -86,6 +91,9 @@ func Deploy(engine *container.Engine, cfg Config) (*Attacker, error) {
 	if cfg.ShellScriptPath == "" {
 		cfg.ShellScriptPath = "/i.sh"
 	}
+	if cfg.CNC.Obs == nil {
+		cfg.CNC.Obs = cfg.Obs
+	}
 
 	img := &container.Image{
 		Name: "ddosim/attacker",
@@ -116,10 +124,12 @@ func Deploy(engine *container.Engine, cfg Config) (*Attacker, error) {
 	})
 	engine.RegisterBinary("evil-dns", func(args []string) container.Behavior {
 		a.DNS = NewMaliciousDNS(func() string { return a.scriptURL })
+		a.DNS.Observe(cfg.Obs)
 		return a.DNS
 	})
 	engine.RegisterBinary("dhcp6-exploit", func(args []string) container.Behavior {
 		a.DHCP = NewDHCPv6Exploit(cfg.DHCPv6Period, func() string { return a.scriptURL })
+		a.DHCP.Observe(cfg.Obs)
 		return a.DHCP
 	})
 
@@ -206,6 +216,9 @@ type MaliciousDNS struct {
 
 	// QueriesServed counts exploit responses sent.
 	QueriesServed uint64
+
+	trace     *obs.Tracer
+	ctrServed *obs.Counter
 }
 
 var _ container.Behavior = (*MaliciousDNS)(nil)
@@ -214,6 +227,13 @@ var _ container.Behavior = (*MaliciousDNS)(nil)
 // the attacker's address is only known after container creation.
 func NewMaliciousDNS(scriptURL func() string) *MaliciousDNS {
 	return &MaliciousDNS{scriptURL: scriptURL}
+}
+
+// Observe attaches the observability bundle.
+func (m *MaliciousDNS) Observe(o *obs.Obs) {
+	m.trace = o.Tracer()
+	m.ctrServed = o.Registry().Counter("exploit_dns_responses_total",
+		"ROP-carrying DNS responses served (Connman channel)")
 }
 
 // Name implements container.Behavior.
@@ -246,6 +266,9 @@ func (m *MaliciousDNS) onQuery(src netip.AddrPort, payload []byte, _ int) {
 	resp := dnsmsg.NewResponse(q, dnsmsg.TypeA, 30, chain)
 	m.sock.SendTo(src, resp.Encode())
 	m.QueriesServed++
+	m.ctrServed.Inc()
+	m.trace.Event(m.p.Sched().Now(), obs.CatExploit, "exploit-attempt",
+		obs.KV{K: "channel", V: "dns"}, obs.KV{K: "victim", V: src.Addr().String()})
 }
 
 // DHCPv6Exploit periodically multicasts the crafted RELAY-FORW that
@@ -258,6 +281,16 @@ type DHCPv6Exploit struct {
 
 	// MessagesSent counts multicast exploit datagrams.
 	MessagesSent uint64
+
+	trace   *obs.Tracer
+	ctrSent *obs.Counter
+}
+
+// Observe attaches the observability bundle.
+func (d *DHCPv6Exploit) Observe(o *obs.Obs) {
+	d.trace = o.Tracer()
+	d.ctrSent = o.Registry().Counter("exploit_dhcpv6_messages_total",
+		"crafted RELAY-FORW multicasts sent (Dnsmasq channel)")
 }
 
 var _ container.Behavior = (*DHCPv6Exploit)(nil)
@@ -296,4 +329,7 @@ func (d *DHCPv6Exploit) send() {
 	dst := netip.AddrPortFrom(dhcpv6.AllRelayAgentsAndServers, dhcpv6.ServerPort)
 	d.sock.SendTo(dst, msg.Encode())
 	d.MessagesSent++
+	d.ctrSent.Inc()
+	d.trace.Event(d.p.Sched().Now(), obs.CatExploit, "exploit-attempt",
+		obs.KV{K: "channel", V: "dhcpv6"})
 }

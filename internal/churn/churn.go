@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ddosim/internal/obs"
 	"ddosim/internal/sim"
 )
 
@@ -142,6 +143,14 @@ type Controller struct {
 
 	departures uint64
 	rejoins    uint64
+
+	// Observability (optional; see Observe).
+	trace     *obs.Tracer
+	ctrDepart *obs.Counter
+	ctrRejoin *obs.Counter
+	epochSpan obs.SpanID
+	epochOpen bool
+	epochN    int
 }
 
 // NewController builds a controller over the given devices, drawing
@@ -192,6 +201,17 @@ func (c *Controller) Hosts() []Host {
 	return out
 }
 
+// Observe attaches the observability bundle: membership flips become
+// device-up/device-down trace events and counters, and each dynamic
+// re-evaluation period becomes a "churn-epoch" span.
+func (c *Controller) Observe(o *obs.Obs) {
+	c.trace = o.Tracer()
+	if reg := o.Registry(); reg != nil {
+		c.ctrDepart = reg.Counter("churn_departures_total", "devices flipped offline by churn")
+		c.ctrRejoin = reg.Counter("churn_rejoins_total", "devices flipped back online by churn")
+	}
+}
+
 // Departures reports how many offline flips occurred.
 func (c *Controller) Departures() uint64 { return c.departures }
 
@@ -209,8 +229,13 @@ func (c *Controller) Start() {
 	case Static:
 		c.evaluate(false)
 	case Dynamic:
+		c.rollEpoch()
 		c.evaluate(true)
-		c.ticker = sim.NewTicker(c.sched, c.epoch, func() { c.evaluate(true) })
+		c.ticker = sim.NewTicker(c.sched, c.epoch, func() {
+			c.rollEpoch()
+			c.evaluate(true)
+		})
+		c.ticker.Source = "churn.epoch"
 		c.ticker.Start()
 	case Sessions:
 		for _, dev := range c.devices {
@@ -225,6 +250,22 @@ func (c *Controller) Stop() {
 	if c.ticker != nil {
 		c.ticker.Stop()
 	}
+	if c.epochOpen {
+		c.trace.EndSpan(c.epochSpan, c.sched.Now())
+		c.epochOpen = false
+	}
+}
+
+// rollEpoch closes the running churn-epoch span and opens the next.
+func (c *Controller) rollEpoch() {
+	now := c.sched.Now()
+	if c.epochOpen {
+		c.trace.EndSpan(c.epochSpan, now)
+	}
+	c.epochN++
+	c.epochSpan = c.trace.BeginSpan(now, obs.CatChurn, "churn-epoch",
+		obs.KV{K: "n", V: fmt.Sprint(c.epochN)})
+	c.epochOpen = c.trace != nil
 }
 
 // scheduleSessionEnd arms the next flip for one device under the
@@ -238,7 +279,7 @@ func (c *Controller) scheduleSessionEnd(dev Device) {
 	if d < sim.Millisecond {
 		d = sim.Millisecond
 	}
-	c.sched.Schedule(d, func() {
+	c.sched.ScheduleSrc(d, "churn.session", func() {
 		if c.stopped {
 			return
 		}
@@ -277,7 +318,15 @@ func (c *Controller) evaluate(rejoin bool) {
 }
 
 func (c *Controller) notify(dev Device, online bool) {
+	at := c.sched.Now()
+	if online {
+		c.ctrRejoin.Inc()
+		c.trace.Event(at, obs.CatChurn, "device-up", obs.KV{K: "dev", V: dev.Name()})
+	} else {
+		c.ctrDepart.Inc()
+		c.trace.Event(at, obs.CatChurn, "device-down", obs.KV{K: "dev", V: dev.Name()})
+	}
 	if c.OnChange != nil {
-		c.OnChange(c.sched.Now(), dev, online)
+		c.OnChange(at, dev, online)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ddosim/internal/netsim"
+	"ddosim/internal/obs"
 	"ddosim/internal/sim"
 )
 
@@ -35,6 +36,15 @@ type Engine struct {
 	factories  map[string]BehaviorFactory
 
 	stats EngineStats
+
+	ctrShellExecs *obs.Counter
+}
+
+// Observe attaches the observability bundle: shell executions inside
+// any container are counted in the registry.
+func (e *Engine) Observe(o *obs.Obs) {
+	e.ctrShellExecs = o.Registry().Counter("container_shell_execs_total",
+		"shell scripts executed inside containers")
 }
 
 // NewEngine creates a runtime attached to the star topology.

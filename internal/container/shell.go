@@ -36,6 +36,7 @@ const maxShellDepth = 8
 // RunShell interprets script inside the container. onDone (optional)
 // fires once, with nil on success or the first command error.
 func (c *Container) RunShell(script string, onDone func(error)) {
+	c.engine.ctrShellExecs.Inc()
 	c.runShellDepth(script, onDone, 0)
 }
 
@@ -54,7 +55,7 @@ func (c *Container) runShellDepth(script string, onDone func(error), depth int) 
 	}
 	// Begin asynchronously so callers never observe re-entrant
 	// completion.
-	c.engine.sched.Schedule(0, job.step)
+	c.engine.sched.ScheduleSrc(0, "container.shell", job.step)
 }
 
 func (j *shellJob) finish(err error) {

@@ -6,6 +6,7 @@ import (
 
 	"ddosim/internal/metrics"
 	"ddosim/internal/netsim"
+	"ddosim/internal/obs"
 	"ddosim/internal/resources"
 	"ddosim/internal/sim"
 )
@@ -77,6 +78,10 @@ type Results struct {
 
 	// Timeline is the full event log.
 	Timeline *metrics.Timeline
+
+	// Obs condenses the run's observability data (trace volume,
+	// scheduler load breakdown, wall-clock profile).
+	Obs obs.Summary
 }
 
 // InfectionRate reports the paper's R2 metric: the fraction of
@@ -101,5 +106,10 @@ func (r *Results) Summary() string {
 	fmt.Fprintf(&b, "churn:              -%d/+%d\n", r.ChurnDepartures, r.ChurnRejoins)
 	fmt.Fprintf(&b, "est. pre-attack mem: %.2f GB, attack mem: %.2f GB, attack time: %s\n",
 		r.Usage.PreAttackMemGB, r.Usage.AttackMemGB, r.Usage.AttackTimeMMSS())
+	fmt.Fprintf(&b, "observability:      %d spans, %d trace events, %d kernel events (peak pending %d)\n",
+		r.Obs.TraceSpans, r.Obs.TraceEvents, r.Obs.EventsDelivered, r.Obs.PeakPending)
+	for _, src := range r.Obs.TopSources {
+		fmt.Fprintf(&b, "  %-20s %d\n", src.Source, src.Events)
+	}
 	return b.String()
 }

@@ -16,6 +16,7 @@ import (
 	"ddosim/internal/metrics"
 	"ddosim/internal/mirai"
 	"ddosim/internal/netsim"
+	"ddosim/internal/obs"
 	"ddosim/internal/procvm"
 	"ddosim/internal/resources"
 	"ddosim/internal/sim"
@@ -66,8 +67,12 @@ type Simulation struct {
 	devs     []*Dev
 	churnCtl *churn.Controller
 	timeline *metrics.Timeline
+	obs      *obs.Obs
 
 	devByAddr map[netip.Addr]*Dev
+
+	recruitSpan obs.SpanID
+	attackSpan  obs.SpanID
 
 	results        Results
 	infectedDevs   map[string]bool
@@ -90,16 +95,22 @@ func New(cfg Config) (*Simulation, error) {
 		cfg:            cfg,
 		sched:          sim.NewScheduler(cfg.Seed),
 		timeline:       metrics.NewTimeline(),
+		obs:            obs.New(),
 		devByAddr:      make(map[netip.Addr]*Dev),
 		infectedDevs:   make(map[string]bool),
 		registeredEver: make(map[netip.Addr]bool),
 	}
+	s.sched.SetHook(s.obs.SchedulerHook())
 	s.net = netsim.New(s.sched)
+	s.net.Observe(s.obs)
 	s.star = netsim.NewStar(s.net)
 	s.engine = container.NewEngine(s.sched, s.star)
+	s.engine.Observe(s.obs)
 
 	// TServer first so the attacker's scanner skip-list can include
 	// it; then the attacker; then the fleet.
+	deploySpan := s.obs.Trace.BeginSpan(s.sched.Now(), obs.CatPhase, "deploy",
+		obs.KV{K: "devs", V: fmt.Sprint(cfg.NumDevs)})
 	if err := s.deployTServer(); err != nil {
 		return nil, err
 	}
@@ -109,12 +120,14 @@ func New(cfg Config) (*Simulation, error) {
 	if err := s.deployDevs(); err != nil {
 		return nil, err
 	}
+	s.obs.Trace.EndSpan(deploySpan, s.sched.Now())
 
 	churnDevs := make([]churn.Device, len(s.devs))
 	for i, d := range s.devs {
 		churnDevs[i] = d
 	}
 	s.churnCtl = churn.NewController(s.sched, cfg.Churn, churnDevs)
+	s.churnCtl.Observe(s.obs)
 	if cfg.ChurnEpoch > 0 {
 		s.churnCtl.SetEpoch(cfg.ChurnEpoch)
 	}
@@ -164,6 +177,10 @@ func (s *Simulation) Devs() []*Dev {
 // Timeline exposes the run's event log.
 func (s *Simulation) Timeline() *metrics.Timeline { return s.timeline }
 
+// Obs exposes the run's observability bundle (tracer, metrics
+// registry, scheduler profiler).
+func (s *Simulation) Obs() *obs.Obs { return s.obs }
+
 func (s *Simulation) deployAttacker() error {
 	jitter := sim.Time(0)
 	if s.cfg.StartJitterPerDev > 0 {
@@ -171,11 +188,14 @@ func (s *Simulation) deployAttacker() error {
 	}
 	atkCfg := attacker.Config{
 		DHCPv6Period: s.cfg.DHCPv6Period,
+		Obs:          s.obs,
 		Bot: mirai.BotConfig{
 			PayloadBytes: s.cfg.PayloadBytes,
 			StartJitter:  jitter,
 			OnAttackStart: func(addr netip.Addr) {
 				s.timeline.Record(s.sched.Now(), EventFloodStart, s.devName(addr))
+				s.obs.Trace.Event(s.sched.Now(), obs.CatCNC, "flood-start",
+					obs.KV{K: "dev", V: s.devName(addr)})
 			},
 		},
 		CNC: mirai.CNCConfig{
@@ -220,7 +240,10 @@ func (s *Simulation) deployAttacker() error {
 				if !s.infectedDevs[dev.name] {
 					s.infectedDevs[dev.name] = true
 					s.results.Infected++
+					s.obs.Metrics.Counter("infections_total", "Devs recruited into the botnet").Inc()
 					s.timeline.Record(s.sched.Now(), EventLoaded, dev.name)
+					s.obs.Trace.Event(s.sched.Now(), obs.CatExploit, "exploit-success",
+						obs.KV{K: "dev", V: dev.name}, obs.KV{K: "channel", V: "loader"})
 				}
 			},
 		})
@@ -386,21 +409,34 @@ func (s *Simulation) deployVulnDaemonDevs() error {
 }
 
 func (s *Simulation) outcomeHook(dev *Dev) func(procvm.HijackOutcome) {
+	reg := s.obs.Metrics
+	ctrAttempts := reg.Counter("exploit_attempts_total", "attacker payloads parsed by Dev daemons")
+	ctrHijacked := reg.Counter("exploit_hijacked_total", "payloads that overwrote a return address")
+	ctrInfected := reg.Counter("infections_total", "Devs recruited into the botnet")
+	ctrCrashed := reg.Counter("exploit_crashes_total", "daemons crashed by a payload (defenses held)")
 	return func(out procvm.HijackOutcome) {
 		s.results.ExploitAttempts++
+		ctrAttempts.Inc()
 		if out.Hijacked {
 			s.results.Hijacked++
+			ctrHijacked.Inc()
 		}
 		switch {
 		case out.ExecutedShell != "":
 			if !s.infectedDevs[dev.name] {
 				s.infectedDevs[dev.name] = true
 				s.results.Infected++
+				ctrInfected.Inc()
 				s.timeline.Record(s.sched.Now(), EventExploitHit, dev.name)
+				s.obs.Trace.Event(s.sched.Now(), obs.CatExploit, "exploit-success",
+					obs.KV{K: "dev", V: dev.name}, obs.KV{K: "binary", V: string(dev.binary)})
 			}
 		case out.Crashed():
 			s.results.Crashed++
+			ctrCrashed.Inc()
 			s.timeline.Record(s.sched.Now(), EventExploitCrash, dev.name)
+			s.obs.Trace.Event(s.sched.Now(), obs.CatExploit, "exploit-crash",
+				obs.KV{K: "dev", V: dev.name}, obs.KV{K: "binary", V: string(dev.binary)})
 		}
 	}
 }
@@ -434,9 +470,14 @@ func (s *Simulation) Run() (*Results, error) {
 	// Churn applies from the outset (§IV-A).
 	s.churnCtl.Start()
 
+	s.recruitSpan = s.obs.Trace.BeginSpan(s.sched.Now(), obs.CatPhase, "recruitment")
+
 	// Recruitment watcher: issue the attack once every online Dev is
-	// a registered bot, or at the recruitment deadline.
+	// a registered bot, or at the recruitment deadline. It doubles as
+	// the per-second sampler of the scheduler queue-depth gauge.
+	queueDepth := s.obs.Metrics.Gauge("sim_queue_depth", "scheduler events pending right now")
 	watcher := sim.NewTicker(s.sched, sim.Second, func() {
+		queueDepth.Set(float64(s.sched.Pending()))
 		if s.attackIssued {
 			return
 		}
@@ -446,6 +487,7 @@ func (s *Simulation) Run() (*Results, error) {
 			s.issueAttack()
 		}
 	})
+	watcher.Source = "core.watcher"
 	watcher.Start()
 
 	if err := s.sched.Run(s.cfg.SimDuration); err != nil {
@@ -467,10 +509,14 @@ func (s *Simulation) issueAttack() {
 	s.preSnap = s.snapshot()
 	now := s.sched.Now()
 	s.results.AttackIssuedAt = now
+	s.obs.Trace.EndSpan(s.recruitSpan, now)
 	method := s.cfg.AttackMethod
 	if method == "" {
 		method = mirai.MethodUDPPlain
 	}
+	s.attackSpan = s.obs.Trace.BeginSpan(now, obs.CatPhase, "attack",
+		obs.KV{K: "method", V: method},
+		obs.KV{K: "duration_s", V: fmt.Sprint(s.cfg.AttackDuration)})
 	target := s.tserver.Addr4()
 	if s.cfg.AttackOverIPv6 {
 		target = s.tserver.Addr6()
@@ -483,6 +529,12 @@ func (s *Simulation) issueAttack() {
 	})
 	s.results.BotsAtCommand = n
 	s.timeline.Record(now, EventAttackOrder, fmt.Sprintf("%d bots", n))
+
+	// The attack phase span ends when the commanded flood duration
+	// elapses (individual bots may trail off later due to jitter).
+	s.sched.Schedule(sim.Time(s.cfg.AttackDuration)*sim.Second, func() {
+		s.obs.Trace.EndSpan(s.attackSpan, s.sched.Now())
+	})
 
 	// Post-attack snapshot: after the last jittered bot finishes,
 	// plus queue-drain grace.
@@ -504,6 +556,22 @@ func (s *Simulation) assemble() {
 	r.SinkBytes = s.sink.Series().TotalBytes()
 	r.DistinctSources = s.sink.DistinctSources()
 	r.Timeline = s.timeline
+
+	// Seal the observability layer: close dangling phase spans, mirror
+	// the kernel counters into the registry, and condense a summary.
+	s.obs.Trace.CloseOpenSpans(s.sched.Now())
+	reg := s.obs.Metrics
+	reg.Gauge("sim_events_processed", "scheduler events executed this run").
+		Set(float64(s.sched.Processed()))
+	reg.Gauge("sim_queue_depth", "scheduler events pending right now").
+		Set(float64(s.sched.Pending()))
+	if r.AttackIssuedAt > 0 {
+		reg.Gauge("infections_per_sec", "mean infections per second up to the attack order").
+			Set(float64(r.Infected) / r.AttackIssuedAt.Seconds())
+	}
+	reg.Gauge("sink_rx_bytes_total", "attack bytes TServer's sink logged").
+		Set(float64(r.SinkBytes))
+	r.Obs = s.obs.Summarize()
 
 	if s.attackIssued {
 		from := int64(r.AttackIssuedAt / sim.Second)

@@ -8,6 +8,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"ddosim/internal/churn"
@@ -21,6 +23,11 @@ type Options struct {
 	Seeds []int64
 	// Quick shrinks sweeps for smoke tests and benchmarks.
 	Quick bool
+	// TraceDir, when non-empty, writes per-run observability
+	// artifacts into the directory: <label>.trace.json (Chrome
+	// trace_event, open in Perfetto) and <label>.metrics.prom
+	// (Prometheus text dump), one pair per experiment point × seed.
+	TraceDir string
 }
 
 func (o Options) seeds() []int64 {
@@ -30,9 +37,41 @@ func (o Options) seeds() []int64 {
 	return []int64{1, 2, 3}
 }
 
-func runAveraged(cfg core.Config, seeds []int64) (float64, *core.Results, error) {
+// dumpObs writes one finished run's trace and metrics under
+// o.TraceDir; a no-op when no directory is configured.
+func (o Options) dumpObs(label string, s *core.Simulation) error {
+	if o.TraceDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(o.TraceDir, label+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := s.Obs().Trace.WriteChromeTrace(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(o.TraceDir, label+".metrics.prom"))
+	if err != nil {
+		return err
+	}
+	if err := s.Obs().Metrics.WritePrometheus(mf); err != nil {
+		mf.Close()
+		return err
+	}
+	return mf.Close()
+}
+
+func runAveraged(cfg core.Config, label string, opt Options) (float64, *core.Results, error) {
 	var sum float64
 	var last *core.Results
+	seeds := opt.seeds()
 	for _, seed := range seeds {
 		c := cfg
 		c.Seed = seed
@@ -42,6 +81,9 @@ func runAveraged(cfg core.Config, seeds []int64) (float64, *core.Results, error)
 		}
 		r, err := s.Run()
 		if err != nil {
+			return 0, nil, err
+		}
+		if err := opt.dumpObs(fmt.Sprintf("%s-s%d", label, seed), s); err != nil {
 			return 0, nil, err
 		}
 		sum += r.DReceivedKbps
@@ -80,7 +122,7 @@ func Fig2(opt Options) ([]Fig2Row, error) {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.devs)
 		cfg.Churn = j.mode
-		avg, _, err := runAveraged(cfg, opt.seeds())
+		avg, _, err := runAveraged(cfg, fmt.Sprintf("fig2-d%d-%s", j.devs, j.mode), opt)
 		if err != nil {
 			return Fig2Row{}, fmt.Errorf("fig2 devs=%d mode=%v: %w", j.devs, j.mode, err)
 		}
@@ -143,7 +185,7 @@ func Fig3(opt Options) ([]Fig3Row, error) {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.devs)
 		cfg.AttackDuration = j.dur
-		avg, _, err := runAveraged(cfg, opt.seeds())
+		avg, _, err := runAveraged(cfg, fmt.Sprintf("fig3-d%d-dur%d", j.devs, j.dur), opt)
 		if err != nil {
 			return Fig3Row{}, fmt.Errorf("fig3 devs=%d dur=%d: %w", j.devs, j.dur, err)
 		}
@@ -218,6 +260,9 @@ func Table1(opt Options) ([]Table1Row, error) {
 		if err != nil {
 			return Table1Row{}, fmt.Errorf("table1 devs=%d: %w", devs, err)
 		}
+		if err := opt.dumpObs(fmt.Sprintf("table1-d%d-s%d", devs, cfg.Seed), s); err != nil {
+			return Table1Row{}, fmt.Errorf("table1 devs=%d: %w", devs, err)
+		}
 		return Table1Row{
 			Devs:           devs,
 			PreAttackMemGB: r.Usage.PreAttackMemGB,
@@ -278,6 +323,9 @@ func Fig4(opt Options) ([]Fig4Row, error) {
 			}
 			r, err := s.Run()
 			if err != nil {
+				return Fig4Row{}, fmt.Errorf("fig4 devs=%d: %w", devs, err)
+			}
+			if err := opt.dumpObs(fmt.Sprintf("fig4-d%d-s%d", devs, seed), s); err != nil {
 				return Fig4Row{}, fmt.Errorf("fig4 devs=%d: %w", devs, err)
 			}
 			ddosimSum += r.DReceivedKbps

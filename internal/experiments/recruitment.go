@@ -53,6 +53,9 @@ func Recruitment(opt Options) ([]RecruitRow, error) {
 			if err != nil {
 				return RecruitRow{}, err
 			}
+			if err := opt.dumpObs(fmt.Sprintf("recruit-%s-w%d-s%d", vector, int(frac*100), seed), s); err != nil {
+				return RecruitRow{}, err
+			}
 			rateSum += r.InfectionRate()
 			if mean, ok := meanRecruitTime(r); ok {
 				timeSum += mean

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"net/netip"
+	"sort"
 	"strings"
 
 	"ddosim/internal/container"
 	"ddosim/internal/netsim"
+	"ddosim/internal/obs"
 	"ddosim/internal/sim"
 )
 
@@ -29,6 +31,9 @@ type CNCConfig struct {
 	// Defaults to 180 s (three missed 60 s pings, as in the published
 	// source).
 	BotTimeout sim.Time
+	// Obs, when set, records registrations, losses, and attack
+	// commands as trace events and metrics.
+	Obs *obs.Obs
 }
 
 // BotRecord describes one connected bot.
@@ -52,6 +57,11 @@ type CNC struct {
 	AttacksIssued   int
 	AdminSessions   int
 	TotalRegistered int
+
+	trace         *obs.Tracer
+	ctrRegistered *obs.Counter
+	ctrLost       *obs.Counter
+	ctrCommands   *obs.Counter
 }
 
 var _ container.Behavior = (*CNC)(nil)
@@ -70,7 +80,14 @@ func NewCNC(cfg CNCConfig) *CNC {
 	if cfg.BotTimeout <= 0 {
 		cfg.BotTimeout = 180 * sim.Second
 	}
-	return &CNC{cfg: cfg, bots: make(map[*netsim.TCPConn]*BotRecord)}
+	c := &CNC{cfg: cfg, bots: make(map[*netsim.TCPConn]*BotRecord)}
+	c.trace = cfg.Obs.Tracer()
+	if reg := cfg.Obs.Registry(); reg != nil {
+		c.ctrRegistered = reg.Counter("cnc_registrations_total", "successful bot registrations at the C&C")
+		c.ctrLost = reg.Counter("cnc_bots_lost_total", "bot connections the C&C lost")
+		c.ctrCommands = reg.Counter("cnc_attack_commands_total", "attack commands broadcast by the C&C")
+	}
+	return c
 }
 
 // CNCFactory adapts NewCNC to the binary registry.
@@ -91,18 +108,34 @@ func (c *CNC) Start(p *container.Process) {
 	reaper.Start()
 }
 
+// sortedConns returns the registry's connections ordered by bot
+// address (connect time as tiebreak). The bots map must never be
+// ranged directly where side effects follow: map order would leak
+// into event sequencing and shared-RNG draw order, breaking the
+// same-seed reproducibility the trace layer promises.
+func (c *CNC) sortedConns() []*netsim.TCPConn {
+	conns := make([]*netsim.TCPConn, 0, len(c.bots))
+	for conn := range c.bots {
+		conns = append(conns, conn)
+	}
+	sort.Slice(conns, func(i, j int) bool {
+		a, b := c.bots[conns[i]], c.bots[conns[j]]
+		if cmp := a.Addr.Compare(b.Addr); cmp != 0 {
+			return cmp < 0
+		}
+		return a.ConnectedAt < b.ConnectedAt
+	})
+	return conns
+}
+
 // reapSilentBots drops bots whose pings stopped — the C&C-side
 // detection of churned-out devices.
 func (c *CNC) reapSilentBots() {
 	now := c.p.Sched().Now()
-	var dead []*netsim.TCPConn
-	for conn, rec := range c.bots {
-		if now-rec.LastSeen > c.cfg.BotTimeout {
-			dead = append(dead, conn)
+	for _, conn := range c.sortedConns() {
+		if now-c.bots[conn].LastSeen > c.cfg.BotTimeout {
+			conn.Abort() // close handler performs deregistration
 		}
-	}
-	for _, conn := range dead {
-		conn.Abort() // close handler performs deregistration
 	}
 }
 
@@ -112,11 +145,11 @@ func (c *CNC) Stop(*container.Process) {}
 // BotCount reports the number of currently-connected bots.
 func (c *CNC) BotCount() int { return len(c.bots) }
 
-// Bots returns a snapshot of the registry.
+// Bots returns a snapshot of the registry, ordered by bot address.
 func (c *CNC) Bots() []BotRecord {
 	out := make([]BotRecord, 0, len(c.bots))
-	for _, r := range c.bots {
-		out = append(out, *r)
+	for _, conn := range c.sortedConns() {
+		out = append(out, *c.bots[conn])
 	}
 	return out
 }
@@ -127,12 +160,17 @@ func (c *CNC) Bots() []BotRecord {
 func (c *CNC) LaunchAttack(cmd AttackCommand) int {
 	wire := []byte(cmd.Encode())
 	n := 0
-	for conn := range c.bots {
+	for _, conn := range c.sortedConns() {
 		if err := conn.Send(wire); err == nil {
 			n++
 		}
 	}
 	c.AttacksIssued++
+	c.ctrCommands.Inc()
+	c.trace.Event(c.p.Sched().Now(), obs.CatCNC, "attack-command",
+		obs.KV{K: "method", V: cmd.Method},
+		obs.KV{K: "target", V: cmd.Target.String()},
+		obs.KV{K: "bots", V: fmt.Sprint(n)})
 	c.p.Logf("cnc: %s sent to %d bots", strings.TrimSpace(cmd.Encode()), n)
 	return n
 }
@@ -192,6 +230,10 @@ func (c *CNC) serveBot(conn *netsim.TCPConn, rest []byte) {
 				}
 				c.bots[conn] = rec
 				c.TotalRegistered++
+				c.ctrRegistered.Inc()
+				c.trace.Event(rec.ConnectedAt, obs.CatCNC, "bot-registered",
+					obs.KV{K: "addr", V: rec.Addr.String()},
+					obs.KV{K: "arch", V: rec.Arch})
 				if c.cfg.OnBotRegistered != nil {
 					c.cfg.OnBotRegistered(rec.Addr, rec.Arch)
 				}
@@ -207,6 +249,9 @@ func (c *CNC) serveBot(conn *netsim.TCPConn, rest []byte) {
 	conn.SetCloseHandler(func(error) {
 		if rec, ok := c.bots[conn]; ok {
 			delete(c.bots, conn)
+			c.ctrLost.Inc()
+			c.trace.Event(c.p.Sched().Now(), obs.CatCNC, "bot-lost",
+				obs.KV{K: "addr", V: rec.Addr.String()})
 			if c.cfg.OnBotLost != nil {
 				c.cfg.OnBotLost(rec.Addr)
 			}

@@ -119,7 +119,7 @@ func (d *NetDevice) Send(pkt *Packet) {
 	}
 	if len(d.queue) >= d.queueLimit {
 		d.stats.QueueDrops++
-		d.node.net.countDrop()
+		d.node.net.countDrop(d.node.name, "drop-tail")
 		return
 	}
 	d.queue = append(d.queue, pkt)
@@ -140,7 +140,7 @@ func (d *NetDevice) transmitNext() {
 	d.transmitting = true
 	pkt := d.queue[0]
 	txTime := d.rate.TxTime(pkt.Size())
-	d.sched.Schedule(txTime, func() {
+	d.sched.ScheduleSrc(txTime, "net.tx", func() {
 		if !d.up {
 			// Went down mid-transmission; queue was already flushed.
 			d.transmitting = false
@@ -156,9 +156,9 @@ func (d *NetDevice) transmitNext() {
 		d.node.net.addQueued(-1)
 		d.stats.TxPackets++
 		d.stats.TxBytes += uint64(pkt.Size())
-		d.node.net.countTx(pkt.Size())
+		d.node.net.countTx(pkt.Size(), pkt.Proto)
 		peer := d.peer
-		d.sched.Schedule(d.delay, func() { peer.receive(pkt) })
+		d.sched.ScheduleSrc(d.delay, "net.prop", func() { peer.receive(pkt) })
 		d.transmitNext()
 	})
 }
@@ -183,7 +183,7 @@ func (d *NetDevice) receive(pkt *Packet) {
 	}
 	if d.lossRate > 0 && d.sched.RNG().Float64() < d.lossRate {
 		d.stats.LossDrops++
-		d.node.net.countDrop()
+		d.node.net.countDrop(d.node.name, "loss")
 		return
 	}
 	d.stats.RxPackets++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"ddosim/internal/obs"
 	"ddosim/internal/sim"
 )
 
@@ -35,6 +36,16 @@ type Network struct {
 	next6 uint64 // interface id of next fd00::/64 host address
 
 	stats NetworkStats
+
+	// Observability (optional; see Observe). The counters are cached
+	// here so the per-frame hot path skips the registry map lookups.
+	trace        *obs.Tracer
+	ctrTxFrames  *obs.Counter
+	ctrTxBytes   *obs.Counter
+	ctrTxByProto [ProtoTCP + 1]*obs.Counter
+	ctrDrops     *obs.Counter
+	gaugeQueued  *obs.Gauge
+	gaugePeak    *obs.Gauge
 }
 
 // New creates an empty network driven by sched.
@@ -49,6 +60,30 @@ func New(sched *sim.Scheduler) *Network {
 
 // Sched exposes the network's scheduler.
 func (w *Network) Sched() *sim.Scheduler { return w.sched }
+
+// Observe attaches the observability bundle: queue drops become trace
+// events, and the wire-level counters (frames, bytes per flow class,
+// drops, queue depth) are mirrored into the metrics registry. Safe to
+// call with nil to detach.
+func (w *Network) Observe(o *obs.Obs) {
+	w.trace = o.Tracer()
+	reg := o.Registry()
+	if reg == nil {
+		w.ctrTxFrames, w.ctrTxBytes, w.ctrDrops = nil, nil, nil
+		w.gaugeQueued, w.gaugePeak = nil, nil
+		for i := range w.ctrTxByProto {
+			w.ctrTxByProto[i] = nil
+		}
+		return
+	}
+	w.ctrTxFrames = reg.Counter("net_tx_frames_total", "frames transmitted on any link")
+	w.ctrTxBytes = reg.Counter("net_tx_bytes_total", "bytes transmitted on any link")
+	w.ctrTxByProto[ProtoUDP] = reg.Counter("net_tx_bytes_udp_total", "bytes transmitted in UDP frames")
+	w.ctrTxByProto[ProtoTCP] = reg.Counter("net_tx_bytes_tcp_total", "bytes transmitted in TCP frames")
+	w.ctrDrops = reg.Counter("net_queue_drops_total", "frames dropped at any queue (drop-tail or loss)")
+	w.gaugeQueued = reg.Gauge("net_queue_depth", "frames buffered anywhere in the network right now")
+	w.gaugePeak = reg.Gauge("net_queue_depth_peak", "peak frames buffered anywhere in the network")
+}
 
 // Stats returns a copy of the aggregate counters.
 func (w *Network) Stats() NetworkStats { return w.stats }
@@ -161,19 +196,34 @@ func (w *Network) NextUID() uint64 {
 	return w.stats.PacketUIDs
 }
 
-func (w *Network) countTx(frameLen int) {
+func (w *Network) countTx(frameLen int, proto Protocol) {
 	w.stats.TxFrames++
 	w.stats.TxBytes += uint64(frameLen)
 	if frameLen > w.stats.MaxFrameLen {
 		w.stats.MaxFrameLen = frameLen
 	}
+	w.ctrTxFrames.Inc()
+	w.ctrTxBytes.Add(uint64(frameLen))
+	if int(proto) < len(w.ctrTxByProto) {
+		w.ctrTxByProto[proto].Add(uint64(frameLen))
+	}
 }
 
-func (w *Network) countDrop() { w.stats.Drops++ }
+// countDrop tallies one dropped frame at node, both in the aggregate
+// stats and — when observability is attached — as a counter increment
+// and a trace point event identifying where the drop happened.
+func (w *Network) countDrop(node, reason string) {
+	w.stats.Drops++
+	w.ctrDrops.Inc()
+	w.trace.Event(w.sched.Now(), obs.CatNet, "queue-drop",
+		obs.KV{K: "node", V: node}, obs.KV{K: "reason", V: reason})
+}
 
 func (w *Network) addQueued(delta int) {
 	w.stats.QueuedNow += delta
 	if w.stats.QueuedNow > w.stats.PeakQueued {
 		w.stats.PeakQueued = w.stats.QueuedNow
 	}
+	w.gaugeQueued.Set(float64(w.stats.QueuedNow))
+	w.gaugePeak.Set(float64(w.stats.PeakQueued))
 }

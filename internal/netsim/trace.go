@@ -24,9 +24,13 @@ type CaptureEntry struct {
 }
 
 // Capture records packets delivered at a node, like tcpdump with a
-// ring buffer.
+// ring buffer. When bounded, the ring overwrites its oldest entry in
+// O(1) — no shifting — so a full capture costs the same per packet as
+// an empty one.
 type Capture struct {
-	entries []CaptureEntry
+	ring    []CaptureEntry // bounded ring when max > 0, else grow-only
+	head    int            // index of the oldest entry (bounded mode)
+	count   int            // live entries in the ring (bounded mode)
 	max     int
 	dropped uint64
 	total   uint64
@@ -36,28 +40,52 @@ type Capture struct {
 // (older entries are discarded first); max <= 0 keeps everything.
 func StartCapture(node *Node, max int) *Capture {
 	c := &Capture{max: max}
+	if max > 0 {
+		c.ring = make([]CaptureEntry, max)
+	}
 	node.AddTap(func(at sim.Time, pkt *Packet) {
 		c.total++
-		if c.max > 0 && len(c.entries) >= c.max {
-			copy(c.entries, c.entries[1:])
-			c.entries = c.entries[:len(c.entries)-1]
-			c.dropped++
-		}
-		c.entries = append(c.entries, CaptureEntry{
+		e := CaptureEntry{
 			At:    at,
 			Proto: pkt.Proto,
 			Src:   pkt.Src,
 			Dst:   pkt.Dst,
 			Bytes: pkt.PayloadSize(),
-		})
+		}
+		if c.max <= 0 {
+			c.ring = append(c.ring, e)
+			c.count++
+			return
+		}
+		if c.count == c.max {
+			c.ring[c.head] = e
+			c.head = (c.head + 1) % c.max
+			c.dropped++
+			return
+		}
+		c.ring[(c.head+c.count)%c.max] = e
+		c.count++
 	})
 	return c
 }
 
+// at returns the i-th oldest live entry.
+func (c *Capture) at(i int) CaptureEntry {
+	if c.max <= 0 {
+		return c.ring[i]
+	}
+	return c.ring[(c.head+i)%c.max]
+}
+
+// Len reports how many records are currently held.
+func (c *Capture) Len() int { return c.count }
+
 // Entries returns the captured records in arrival order (a copy).
 func (c *Capture) Entries() []CaptureEntry {
-	out := make([]CaptureEntry, len(c.entries))
-	copy(out, c.entries)
+	out := make([]CaptureEntry, c.count)
+	for i := range out {
+		out[i] = c.at(i)
+	}
 	return out
 }
 
@@ -71,8 +99,8 @@ func (c *Capture) Dropped() uint64 { return c.dropped }
 // FilterProto returns the captured records of one protocol.
 func (c *Capture) FilterProto(p Protocol) []CaptureEntry {
 	var out []CaptureEntry
-	for _, e := range c.entries {
-		if e.Proto == p {
+	for i := 0; i < c.count; i++ {
+		if e := c.at(i); e.Proto == p {
 			out = append(out, e)
 		}
 	}
@@ -82,8 +110,8 @@ func (c *Capture) FilterProto(p Protocol) []CaptureEntry {
 // BytesBetween sums payload bytes captured in [from, to).
 func (c *Capture) BytesBetween(from, to sim.Time) uint64 {
 	var sum uint64
-	for _, e := range c.entries {
-		if e.At >= from && e.At < to {
+	for i := 0; i < c.count; i++ {
+		if e := c.at(i); e.At >= from && e.At < to {
 			sum += uint64(e.Bytes)
 		}
 	}
@@ -93,11 +121,12 @@ func (c *Capture) BytesBetween(from, to sim.Time) uint64 {
 // String renders a short tcpdump-style listing (first entries only).
 func (c *Capture) String() string {
 	var b strings.Builder
-	for i, e := range c.entries {
+	for i := 0; i < c.count; i++ {
 		if i >= 20 {
-			fmt.Fprintf(&b, "... %d more\n", len(c.entries)-i)
+			fmt.Fprintf(&b, "... %d more\n", c.count-i)
 			break
 		}
+		e := c.at(i)
 		fmt.Fprintf(&b, "%s %s %s > %s len=%d\n", e.At, e.Proto, e.Src, e.Dst, e.Bytes)
 	}
 	return b.String()

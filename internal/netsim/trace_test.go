@@ -213,3 +213,34 @@ func TestSetLossRateValidation(t *testing.T) {
 	}()
 	a.DefaultDevice().SetLossRate(1.0)
 }
+
+func TestCaptureRingWrapsRepeatedly(t *testing.T) {
+	// The ring must stay consistent (order preserved, oldest evicted)
+	// across many full wraparounds, not just the first overflow.
+	sched, _, star := newStar(t, 3)
+	a := star.AttachHost("a", 10*Mbps, sim.Millisecond, 0)
+	b := star.AttachHost("b", 100*Mbps, sim.Millisecond, 0)
+	cap := StartCapture(b, 4)
+	if _, err := b.BindUDP(9, nil); err != nil {
+		t.Fatal(err)
+	}
+	sock, _ := a.BindUDP(0, nil)
+	const sent = 23
+	for i := 0; i < sent; i++ {
+		sock.SendPadded(netip.AddrPortFrom(b.Addr4(), 9), nil, 100+i)
+	}
+	if err := sched.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if cap.Len() != 4 {
+		t.Fatalf("ring kept %d entries", cap.Len())
+	}
+	if cap.Total() != sent || cap.Dropped() != sent-4 {
+		t.Fatalf("total=%d dropped=%d", cap.Total(), cap.Dropped())
+	}
+	for i, e := range cap.Entries() {
+		if want := 100 + sent - 4 + i; e.Bytes != want {
+			t.Fatalf("entry %d bytes = %d, want %d", i, e.Bytes, want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames_total", "frames sent")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("frames_total", "ignored") != c {
+		t.Error("get-or-create returned a different counter")
+	}
+	if got := r.CounterValue("frames_total"); got != 5 {
+		t.Errorf("CounterValue = %d, want 5", got)
+	}
+	if got := r.CounterValue("missing"); got != 0 {
+		t.Errorf("missing CounterValue = %d, want 0", got)
+	}
+
+	g := r.Gauge("queue_depth", "live queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %v, want 5", got)
+	}
+	if got := r.GaugeValue("queue_depth"); got != 5 {
+		t.Errorf("GaugeValue = %v, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_ms", "latency", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5605 {
+		t.Errorf("sum = %v, want 5605", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`latency_ms_bucket{le="10"} 1`,
+		`latency_ms_bucket{le="100"} 3`,
+		`latency_ms_bucket{le="1000"} 4`,
+		`latency_ms_bucket{le="+Inf"} 5`,
+		"latency_ms_sum 5605",
+		"latency_ms_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Register in one order, bump in another; the dump sorts.
+		r.Counter("zeta_total", "last alphabetically").Add(3)
+		r.Gauge("alpha_depth", "first alphabetically").Set(1.5)
+		r.Counter("mid_total", "").Inc()
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical registries dumped different bytes")
+	}
+	want := "# HELP alpha_depth first alphabetically\n" +
+		"# TYPE alpha_depth gauge\n" +
+		"alpha_depth 1.5\n" +
+		"# TYPE mid_total counter\n" +
+		"mid_total 1\n" +
+		"# HELP zeta_total last alphabetically\n" +
+		"# TYPE zeta_total counter\n" +
+		"zeta_total 3\n"
+	if a.String() != want {
+		t.Errorf("dump:\n%s\nwant:\n%s", a.String(), want)
+	}
+}
+
+func TestNilRegistryAndMetrics(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	g := r.Gauge("y", "")
+	g.Set(4)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	h := r.Histogram("z", "", []float64{1})
+	h.Observe(2)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	if r.CounterValue("x") != 0 || r.GaugeValue("y") != 0 {
+		t.Error("nil registry reported values")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry dumped %q", buf.String())
+	}
+}

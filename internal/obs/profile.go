@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ddosim/internal/sim"
+)
+
+// SourceLoad is one event source's share of delivered scheduler events.
+type SourceLoad struct {
+	Source string `json:"source"`
+	Events uint64 `json:"events"`
+}
+
+// SecSample records how much work one simulated second cost: how many
+// events it delivered and how long it took on the wall clock.
+type SecSample struct {
+	Sec    int64  `json:"sec"`
+	Events uint64 `json:"events"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// Profiler measures the discrete-event kernel itself: per-event-source
+// delivery counts and wall-clock time per simulated second. Hook it
+// into the scheduler with sim.Scheduler.SetHook (core does this
+// automatically). Unlike the Tracer, the Profiler reads the wall clock
+// — once per simulated-second boundary, never per event — so its
+// samples are not deterministic and are kept out of trace and metrics
+// dumps.
+type Profiler struct {
+	bySource    map[string]uint64
+	total       uint64
+	peakPending int
+
+	clock     func() int64 // wall nanoseconds; injectable for tests
+	curSec    int64
+	secStart  int64 // wall ns at entry to curSec
+	secEvents uint64
+	started   bool
+	samples   []SecSample
+}
+
+// NewProfiler returns a profiler using the real wall clock.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		bySource: make(map[string]uint64),
+		clock:    func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// SetClock replaces the wall-clock source (tests).
+func (p *Profiler) SetClock(clock func() int64) {
+	if p == nil || clock == nil {
+		return
+	}
+	p.clock = clock
+}
+
+// OnEvent records one delivered scheduler event. It matches the
+// sim.Scheduler hook signature. The wall clock is only read when at
+// crosses into a new simulated second.
+func (p *Profiler) OnEvent(at sim.Time, src string, pending int) {
+	if p == nil {
+		return
+	}
+	if src == "" {
+		src = "unlabeled"
+	}
+	p.bySource[src]++
+	p.total++
+	if pending > p.peakPending {
+		p.peakPending = pending
+	}
+
+	sec := int64(at / sim.Second)
+	if !p.started {
+		p.started = true
+		p.curSec = sec
+		p.secStart = p.clock()
+		p.secEvents = 1
+		return
+	}
+	if sec == p.curSec {
+		p.secEvents++
+		return
+	}
+	now := p.clock()
+	p.samples = append(p.samples, SecSample{Sec: p.curSec, Events: p.secEvents, WallNS: now - p.secStart})
+	p.curSec = sec
+	p.secStart = now
+	p.secEvents = 1
+}
+
+// TotalEvents reports how many events the profiler observed.
+func (p *Profiler) TotalEvents() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.total
+}
+
+// PeakPending reports the deepest scheduler queue observed.
+func (p *Profiler) PeakPending() int {
+	if p == nil {
+		return 0
+	}
+	return p.peakPending
+}
+
+// BySource returns a copy of the per-source delivery counts.
+func (p *Profiler) BySource() map[string]uint64 {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(p.bySource))
+	for k, v := range p.bySource {
+		out[k] = v
+	}
+	return out
+}
+
+// Samples returns the closed per-second samples (the second in
+// progress is not included).
+func (p *Profiler) Samples() []SecSample {
+	if p == nil {
+		return nil
+	}
+	out := make([]SecSample, len(p.samples))
+	copy(out, p.samples)
+	return out
+}
+
+// TopSources returns the n busiest event sources, descending by count
+// with name as the tiebreak.
+func (p *Profiler) TopSources(n int) []SourceLoad {
+	if p == nil {
+		return nil
+	}
+	all := make([]SourceLoad, 0, len(p.bySource))
+	for s, c := range p.bySource {
+		all = append(all, SourceLoad{Source: s, Events: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Events != all[j].Events {
+			return all[i].Events > all[j].Events
+		}
+		return all[i].Source < all[j].Source
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// MeanWallNSPerSimSec reports the mean wall-clock cost of one
+// simulated second over all closed samples, or 0 with no samples.
+func (p *Profiler) MeanWallNSPerSimSec() int64 {
+	if p == nil || len(p.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range p.samples {
+		sum += s.WallNS
+	}
+	return sum / int64(len(p.samples))
+}
+
+// String renders a short profile report: totals and the top sources.
+func (p *Profiler) String() string {
+	if p == nil {
+		return "profiler: off"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "events delivered: %d (peak pending %d)\n", p.total, p.peakPending)
+	if mean := p.MeanWallNSPerSimSec(); mean > 0 {
+		fmt.Fprintf(&b, "wall per sim-second: %s\n", time.Duration(mean))
+	}
+	for _, s := range p.TopSources(8) {
+		fmt.Fprintf(&b, "  %-20s %d\n", s.Source, s.Events)
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"ddosim/internal/sim"
+)
+
+func TestProfilerAccounting(t *testing.T) {
+	p := NewProfiler()
+	var wall int64
+	p.SetClock(func() int64 { wall += 1000; return wall })
+
+	p.OnEvent(0, "net.tx", 3)
+	p.OnEvent(500*sim.Millisecond, "net.tx", 9)
+	p.OnEvent(900*sim.Millisecond, "", 2) // unlabeled
+	p.OnEvent(1500*sim.Millisecond, "churn.epoch", 1)
+	p.OnEvent(2100*sim.Millisecond, "net.tx", 0)
+
+	if got := p.TotalEvents(); got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+	if got := p.PeakPending(); got != 9 {
+		t.Errorf("peak pending = %d, want 9", got)
+	}
+	by := p.BySource()
+	if by["net.tx"] != 3 || by["churn.epoch"] != 1 || by["unlabeled"] != 1 {
+		t.Errorf("by source = %v", by)
+	}
+
+	// Seconds 0 and 1 are closed; second 2 is still in progress. The
+	// injected clock advances 1000ns per read, one read per boundary.
+	samples := p.Samples()
+	want := []SecSample{
+		{Sec: 0, Events: 3, WallNS: 1000},
+		{Sec: 1, Events: 1, WallNS: 1000},
+	}
+	if !reflect.DeepEqual(samples, want) {
+		t.Errorf("samples = %v, want %v", samples, want)
+	}
+	if got := p.MeanWallNSPerSimSec(); got != 1000 {
+		t.Errorf("mean wall/sim-sec = %d, want 1000", got)
+	}
+
+	top := p.TopSources(2)
+	if len(top) != 2 || top[0].Source != "net.tx" || top[0].Events != 3 {
+		t.Errorf("top sources = %v", top)
+	}
+	// Ties break by name: churn.epoch before unlabeled.
+	if top[1].Source != "churn.epoch" {
+		t.Errorf("tiebreak = %q, want churn.epoch", top[1].Source)
+	}
+}
+
+func TestProfilerClockReadsOnlyAtBoundaries(t *testing.T) {
+	p := NewProfiler()
+	reads := 0
+	p.SetClock(func() int64 { reads++; return int64(reads) })
+	for i := 0; i < 1000; i++ {
+		p.OnEvent(sim.Time(i)*sim.Millisecond, "net.tx", 0) // all within second 0
+	}
+	if reads != 1 { // one read arming second 0
+		t.Errorf("clock reads = %d, want 1", reads)
+	}
+	p.OnEvent(sim.Second, "net.tx", 0)
+	if reads != 2 { // one more closing second 0
+		t.Errorf("clock reads after boundary = %d, want 2", reads)
+	}
+}
+
+func TestProfilerNilSafe(t *testing.T) {
+	var p *Profiler
+	p.OnEvent(0, "x", 1)
+	p.SetClock(func() int64 { return 0 })
+	if p.TotalEvents() != 0 || p.PeakPending() != 0 {
+		t.Error("nil profiler accumulated")
+	}
+	if p.BySource() != nil || p.Samples() != nil || p.TopSources(3) != nil {
+		t.Error("nil profiler returned data")
+	}
+	if p.MeanWallNSPerSimSec() != 0 {
+		t.Error("nil profiler reported wall time")
+	}
+	if p.String() != "profiler: off" {
+		t.Errorf("nil String = %q", p.String())
+	}
+}
+
+func TestObsSummarizeAndHook(t *testing.T) {
+	var o *Obs
+	if s := o.Summarize(); !reflect.DeepEqual(s, Summary{}) {
+		t.Errorf("nil Summarize = %+v", s)
+	}
+	if o.SchedulerHook() != nil {
+		t.Error("nil Obs produced a hook")
+	}
+	if o.Tracer() != nil || o.Registry() != nil || o.Profiler() != nil {
+		t.Error("nil Obs handed out components")
+	}
+
+	live := New()
+	live.Trace.Event(0, CatNet, "queue-drop")
+	live.Trace.BeginSpan(0, CatPhase, "deploy")
+	hook := live.SchedulerHook()
+	if hook == nil {
+		t.Fatal("no hook from live Obs")
+	}
+	hook(0, "net.tx", 4)
+	hook(0, "net.tx", 2)
+	s := live.Summarize()
+	if s.TraceSpans != 1 || s.TraceEvents != 1 {
+		t.Errorf("summary trace counts = %+v", s)
+	}
+	if s.EventsDelivered != 2 || s.PeakPending != 4 {
+		t.Errorf("summary profiler counts = %+v", s)
+	}
+	if len(s.TopSources) != 1 || s.TopSources[0] != (SourceLoad{Source: "net.tx", Events: 2}) {
+		t.Errorf("summary top sources = %v", s.TopSources)
+	}
+}

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ddosim/internal/sim"
+)
+
+// Standard trace categories. Emitters are free to invent more; these
+// are the ones the built-in instrumentation uses.
+const (
+	CatPhase   = "phase"   // run phases: deploy, recruitment, attack
+	CatExploit = "exploit" // exploit attempts and outcomes
+	CatCNC     = "cnc"     // C&C registration and commands
+	CatChurn   = "churn"   // device membership flips, epochs
+	CatNet     = "net"     // network-level events (queue drops)
+)
+
+// KV is one ordered key/value annotation on a span or event.
+type KV struct {
+	K, V string
+}
+
+// SpanID identifies an open span so it can be ended.
+type SpanID int
+
+// Span is a named interval of simulated time (a run phase, a churn
+// epoch).
+type Span struct {
+	ID    SpanID
+	Cat   string
+	Name  string
+	Start sim.Time
+	End   sim.Time
+	Args  []KV
+
+	seq  uint64
+	open bool
+}
+
+// Event is a point occurrence at one simulated instant.
+type Event struct {
+	At   sim.Time
+	Cat  string
+	Name string
+	Args []KV
+
+	seq uint64
+}
+
+// DefaultMaxEvents caps recorded point events so a pathological run
+// cannot exhaust memory; spans are never dropped (their count is
+// bounded by phases and epochs). The cap is deterministic: the same
+// run drops the same events.
+const DefaultMaxEvents = 1 << 20
+
+// Tracer records spans and events for one run. It is not safe for
+// concurrent use — the simulation kernel is single-threaded, and so is
+// the tracer. All methods are nil-safe so instrumented code can carry
+// an optional tracer without guards.
+type Tracer struct {
+	spans   []Span
+	events  []Event
+	seq     uint64
+	max     int
+	dropped uint64
+}
+
+// NewTracer returns an empty tracer with the default event cap.
+func NewTracer() *Tracer {
+	return &Tracer{max: DefaultMaxEvents}
+}
+
+// SetMaxEvents overrides the point-event cap; n <= 0 removes it.
+func (t *Tracer) SetMaxEvents(n int) {
+	if t == nil {
+		return
+	}
+	t.max = n
+}
+
+// Event records a point event at simulated instant at.
+func (t *Tracer) Event(at sim.Time, cat, name string, args ...KV) {
+	if t == nil {
+		return
+	}
+	if t.max > 0 && len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.seq++
+	t.events = append(t.events, Event{At: at, Cat: cat, Name: name, Args: args, seq: t.seq})
+}
+
+// BeginSpan opens a span at simulated instant at and returns its id.
+func (t *Tracer) BeginSpan(at sim.Time, cat, name string, args ...KV) SpanID {
+	if t == nil {
+		return -1
+	}
+	t.seq++
+	id := SpanID(len(t.spans))
+	t.spans = append(t.spans, Span{
+		ID: id, Cat: cat, Name: name, Start: at, End: at, Args: args,
+		seq: t.seq, open: true,
+	})
+	return id
+}
+
+// EndSpan closes a span at simulated instant at. Ending an unknown or
+// already-closed span is a no-op.
+func (t *Tracer) EndSpan(id SpanID, at sim.Time) {
+	if t == nil || id < 0 || int(id) >= len(t.spans) {
+		return
+	}
+	sp := &t.spans[id]
+	if !sp.open {
+		return
+	}
+	sp.open = false
+	if at > sp.Start {
+		sp.End = at
+	}
+}
+
+// CloseOpenSpans ends every still-open span at the given instant —
+// called once when a run finishes so exports never carry zero-length
+// phantom phases.
+func (t *Tracer) CloseOpenSpans(at sim.Time) {
+	if t == nil {
+		return
+	}
+	for i := range t.spans {
+		if t.spans[i].open {
+			t.EndSpan(SpanID(i), at)
+		}
+	}
+}
+
+// Spans returns a copy of all recorded spans in begin order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Events returns a copy of all recorded point events in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Dropped reports how many point events hit the cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// CountEvents reports how many point events of the given category and
+// name were recorded; empty strings match anything.
+func (t *Tracer) CountEvents(cat, name string) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range t.events {
+		if (cat == "" || e.Cat == cat) && (name == "" || e.Name == name) {
+			n++
+		}
+	}
+	return n
+}
+
+// record is the unified JSONL row: spans carry end_us, events do not.
+type record struct {
+	Type  string            `json:"type"` // "span" | "event"
+	Cat   string            `json:"cat"`
+	Name  string            `json:"name"`
+	AtUS  int64             `json:"ts_us"`
+	EndUS *int64            `json:"end_us,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+func argMap(args []KV) map[string]string {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(args))
+	for _, kv := range args {
+		m[kv.K] = kv.V
+	}
+	return m
+}
+
+func micros(t sim.Time) int64 { return int64(t / sim.Microsecond) }
+
+// merged returns spans and events interleaved in record (seq) order,
+// which for a single-threaded simulation is chronological by begin
+// time. The order — and therefore every exported byte — is a pure
+// function of the run.
+func (t *Tracer) merged() []record {
+	out := make([]record, 0, len(t.spans)+len(t.events))
+	si, ei := 0, 0
+	for si < len(t.spans) || ei < len(t.events) {
+		if ei >= len(t.events) || (si < len(t.spans) && t.spans[si].seq < t.events[ei].seq) {
+			sp := t.spans[si]
+			end := micros(sp.End)
+			out = append(out, record{
+				Type: "span", Cat: sp.Cat, Name: sp.Name,
+				AtUS: micros(sp.Start), EndUS: &end, Args: argMap(sp.Args),
+			})
+			si++
+			continue
+		}
+		ev := t.events[ei]
+		out = append(out, record{
+			Type: "event", Cat: ev.Cat, Name: ev.Name,
+			AtUS: micros(ev.At), Args: argMap(ev.Args),
+		})
+		ei++
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per line, spans and events
+// interleaved in record order. encoding/json sorts map keys, so the
+// output is byte-deterministic.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, r := range t.merged() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (catapult "JSON Array Format"): spans become "X" complete events,
+// point events become "i" instants. Timestamps are microseconds of
+// simulated time.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	Dur   *int64            `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the run as Chrome trace_event JSON, loadable
+// in chrome://tracing and Perfetto. Each category gets its own track
+// (tid), assigned in sorted category order for determinism.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	cats := make(map[string]bool)
+	for _, sp := range t.spans {
+		cats[sp.Cat] = true
+	}
+	for _, ev := range t.events {
+		cats[ev.Cat] = true
+	}
+	sorted := make([]string, 0, len(cats))
+	for c := range cats {
+		sorted = append(sorted, c)
+	}
+	sort.Strings(sorted)
+	tid := make(map[string]int, len(sorted))
+	for i, c := range sorted {
+		tid[c] = i + 1
+	}
+
+	out := make([]chromeEvent, 0, len(t.spans)+len(t.events))
+	for _, r := range t.merged() {
+		ce := chromeEvent{
+			Name: r.Name, Cat: r.Cat, TS: r.AtUS,
+			PID: 1, TID: tid[r.Cat], Args: r.Args,
+		}
+		if r.Type == "span" {
+			dur := *r.EndUS - r.AtUS
+			ce.Phase = "X"
+			ce.Dur = &dur
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out = append(out, ce)
+	}
+
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ce := range out {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(out)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -13,6 +13,7 @@ import (
 
 	"ddosim/internal/core"
 	"ddosim/internal/metrics"
+	"ddosim/internal/obs"
 	"ddosim/internal/sim"
 )
 
@@ -58,6 +59,10 @@ type Run struct {
 	// Series and events.
 	PerSecondKbps []float64 `json:"per_second_kbps,omitempty"`
 	Timeline      []Event   `json:"timeline,omitempty"`
+
+	// Obs condenses the run's observability layer: trace volume,
+	// scheduler load by source, and the wall-clock profile.
+	Obs obs.Summary `json:"obs"`
 }
 
 // FromResults builds the serializable view. includeDetail controls
@@ -88,6 +93,7 @@ func FromResults(cfg core.Config, r *core.Results, includeDetail bool) Run {
 		PreAttackMemGB:  r.Usage.PreAttackMemGB,
 		AttackMemGB:     r.Usage.AttackMemGB,
 		AttackTimeSecs:  r.Usage.AttackTimeSecs,
+		Obs:             r.Obs,
 	}
 	if includeDetail {
 		run.PerSecondKbps = append(run.PerSecondKbps, r.PerSecondKbps...)

@@ -22,6 +22,7 @@ type event struct {
 	seq    uint64
 	id     EventID
 	fn     func()
+	src    string
 	cancel bool
 }
 
@@ -64,6 +65,7 @@ type Scheduler struct {
 	rng       *rand.Rand
 	stopped   bool
 	processed uint64
+	hook      func(at Time, src string, pending int)
 }
 
 // NewScheduler returns a scheduler whose random source is seeded with
@@ -90,18 +92,38 @@ func (s *Scheduler) Processed() uint64 { return s.processed }
 // Pending reports how many events are queued and not cancelled.
 func (s *Scheduler) Pending() int { return len(s.live) }
 
+// SetHook installs an observer invoked once per executed event with
+// the event's time, its source label, and the queue depth after the
+// pop. A nil hook disables observation. The observability layer's
+// scheduler profiler attaches here.
+func (s *Scheduler) SetHook(hook func(at Time, src string, pending int)) {
+	s.hook = hook
+}
+
 // Schedule queues fn to run after delay. A negative delay is treated as
 // zero (run at the current instant, after already-queued events for it).
 func (s *Scheduler) Schedule(delay Time, fn func()) EventID {
+	return s.ScheduleSrc(delay, "", fn)
+}
+
+// ScheduleSrc is Schedule with a source label attributing the event to
+// a subsystem (e.g. "net.tx", "churn.epoch") for the profiler's
+// per-source breakdown.
+func (s *Scheduler) ScheduleSrc(delay Time, src string, fn func()) EventID {
 	if delay < 0 {
 		delay = 0
 	}
-	return s.ScheduleAt(s.now+delay, fn)
+	return s.ScheduleAtSrc(s.now+delay, src, fn)
 }
 
 // ScheduleAt queues fn to run at absolute time at. Times in the past are
 // clamped to the current instant.
 func (s *Scheduler) ScheduleAt(at Time, fn func()) EventID {
+	return s.ScheduleAtSrc(at, "", fn)
+}
+
+// ScheduleAtSrc is ScheduleAt with a source label.
+func (s *Scheduler) ScheduleAtSrc(at Time, src string, fn func()) EventID {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil fn")
 	}
@@ -110,7 +132,7 @@ func (s *Scheduler) ScheduleAt(at Time, fn func()) EventID {
 	}
 	s.seq++
 	s.nextID++
-	ev := &event{at: at, seq: s.seq, id: s.nextID, fn: fn}
+	ev := &event{at: at, seq: s.seq, id: s.nextID, fn: fn, src: src}
 	heap.Push(&s.queue, ev)
 	s.live[ev.id] = ev
 	return ev.id
@@ -169,6 +191,9 @@ func (s *Scheduler) run(until Time) error {
 		delete(s.live, ev.id)
 		s.now = ev.at
 		s.processed++
+		if s.hook != nil {
+			s.hook(ev.at, ev.src, len(s.live))
+		}
 		ev.fn()
 	}
 	return nil

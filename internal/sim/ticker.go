@@ -9,6 +9,10 @@ type Ticker struct {
 	fn      func()
 	pending EventID
 	running bool
+
+	// Source labels the ticker's events for the scheduler profiler's
+	// per-source breakdown. Optional; set before Start.
+	Source string
 }
 
 // NewTicker creates a ticker bound to sched that fires fn every period.
@@ -40,7 +44,7 @@ func (t *Ticker) StartImmediate() {
 		return
 	}
 	t.running = true
-	t.pending = t.sched.Schedule(0, t.tick)
+	t.pending = t.sched.ScheduleSrc(0, t.Source, t.tick)
 }
 
 // Stop cancels any pending tick. The ticker may be restarted.
@@ -56,7 +60,7 @@ func (t *Ticker) Stop() {
 func (t *Ticker) Running() bool { return t.running }
 
 func (t *Ticker) arm() {
-	t.pending = t.sched.Schedule(t.period, t.tick)
+	t.pending = t.sched.ScheduleSrc(t.period, t.Source, t.tick)
 }
 
 func (t *Ticker) tick() {
