@@ -2,6 +2,7 @@ package container
 
 import (
 	"fmt"
+	"sort"
 
 	"ddosim/internal/netsim"
 	"ddosim/internal/sim"
@@ -72,8 +73,13 @@ func (d Deployment) Deploy(e *Engine) (map[string][]*Container, error) {
 				return fail(fmt.Errorf("container: compose: %s: %w", name, err))
 			}
 			created = append(created, c)
-			for path, data := range svc.Files {
-				c.FS().Write(path, data)
+			paths := make([]string, 0, len(svc.Files))
+			for path := range svc.Files { //simlint:allow maporder(collect-then-sort: paths are sorted before the writes)
+				paths = append(paths, path)
+			}
+			sort.Strings(paths)
+			for _, path := range paths {
+				c.FS().Write(path, svc.Files[path])
 			}
 			if err := c.Start(); err != nil {
 				return fail(fmt.Errorf("container: compose: %s: %w", name, err))

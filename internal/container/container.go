@@ -147,7 +147,7 @@ func (c *Container) ExecFile(path string, args []string) (*Process, error) {
 // Procs returns the live processes ordered by pid.
 func (c *Container) Procs() []*Process {
 	out := make([]*Process, 0, len(c.procs))
-	for _, p := range c.procs {
+	for _, p := range c.procs { //simlint:allow maporder(collect-then-sort: slice is pid-sorted before use)
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
@@ -155,9 +155,10 @@ func (c *Container) Procs() []*Process {
 }
 
 // FindByTCPPort returns the live process bound to the given TCP port,
-// or nil.
+// or nil. Processes are probed in pid order so the answer is
+// deterministic even if two processes raced for the same port.
 func (c *Container) FindByTCPPort(port uint16) *Process {
-	for _, p := range c.procs {
+	for _, p := range c.Procs() {
 		if p.HasTCPPort(port) {
 			return p
 		}

@@ -109,8 +109,8 @@ func (e *Engine) Create(imageRef, name string, link LinkConfig) (*Container, err
 		engine: e,
 		procs:  make(map[int]*Process),
 	}
-	for path, data := range img.Files {
-		c.fs.Write(path, data)
+	for _, path := range img.SortedPaths() {
+		c.fs.Write(path, img.Files[path])
 		if img.ExecPaths[path] {
 			if err := c.fs.Chmod(path, true); err != nil {
 				return nil, err

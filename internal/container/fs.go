@@ -75,7 +75,7 @@ func (fs *FS) Exists(path string) bool {
 // List returns all paths in sorted order.
 func (fs *FS) List() []string {
 	out := make([]string, 0, len(fs.files))
-	for p := range fs.files {
+	for p := range fs.files { //simlint:allow maporder(collect-then-sort: paths are sorted before return)
 		out = append(out, p)
 	}
 	sort.Strings(out)

@@ -2,6 +2,7 @@ package container
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ddosim/internal/procvm"
@@ -34,6 +35,18 @@ type Image struct {
 // Ref renders name:tag.
 func (im *Image) Ref() string { return im.Name + ":" + im.Tag }
 
+// SortedPaths returns the image's file paths in sorted order — the
+// iteration order every consumer that materializes or rewrites the
+// filesystem must use, so container builds stay deterministic.
+func (im *Image) SortedPaths() []string {
+	out := make([]string, 0, len(im.Files))
+	for p := range im.Files { //simlint:allow maporder(collect-then-sort: keys are sorted before use)
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // SizeBytes reports the image's total size.
 func (im *Image) SizeBytes() int {
 	n := im.ExtraBytes
@@ -47,6 +60,7 @@ func (im *Image) SizeBytes() int {
 func (im *Image) Clone() *Image {
 	cp := *im
 	cp.Files = make(map[string][]byte, len(im.Files))
+	//simlint:allow maporder(pure deep copy; each entry is written independently)
 	for p, d := range im.Files {
 		cp.Files[p] = append([]byte(nil), d...)
 	}
@@ -94,8 +108,8 @@ func BuildMultiArch(base *Image, archs []string) (map[string]*Image, error) {
 		img := base.Clone()
 		img.Arch = arch
 		img.Tag = base.Tag + "-" + arch
-		for path, data := range img.Files {
-			if name, _, ok := ParseBinary(data); ok {
+		for _, path := range img.SortedPaths() {
+			if name, _, ok := ParseBinary(img.Files[path]); ok {
 				img.Files[path] = BinaryContent(name, arch)
 			}
 		}

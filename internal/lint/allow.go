@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Allow-annotation grammar:
+//
+//	//simlint:allow analyzer(reason)
+//
+// The annotation suppresses findings of the named analyzer on its own
+// line and on the line directly below — so it works both as a
+// trailing comment and as a standalone comment above the flagged
+// statement. The reason is mandatory: an empty or missing reason is
+// itself a diagnostic, so every suppression carries a justification a
+// reviewer can audit.
+var allowRe = regexp.MustCompile(`^//simlint:allow\s+([a-z]+)\s*\((.*)\)\s*$`)
+
+// allowIndex maps file → line → analyzers allowed at that line.
+type allowIndex map[string]map[int]map[string]bool
+
+// covers reports whether an annotation suppresses analyzer findings
+// at file:line.
+func (idx allowIndex) covers(analyzer, file string, line int) bool {
+	lines := idx[file]
+	if lines == nil {
+		return false
+	}
+	return lines[line][analyzer] || lines[line-1][analyzer]
+}
+
+// collectAllows scans a package's comments for simlint:allow
+// annotations, reporting malformed ones (empty reason, or the
+// simlint:allow prefix with unparseable arguments) as diagnostics.
+func collectAllows(pkg *Package, diags *[]Diagnostic) allowIndex {
+	idx := make(allowIndex)
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				// Only directive-shaped comments count: "//simlint:"
+				// at the very start, no space — prose that merely
+				// mentions the grammar is ignored.
+				text := c.Text
+				if !strings.HasPrefix(text, "//simlint:") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				bad := func(msg string) {
+					*diags = append(*diags, Diagnostic{
+						File: pkg.relPath(pos.Filename), Line: pos.Line, Col: pos.Column,
+						Analyzer: "allow", Message: msg,
+					})
+				}
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					bad("malformed simlint:allow annotation; want //simlint:allow analyzer(reason)")
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					bad("simlint:allow " + m[1] + " needs a non-empty reason")
+					continue
+				}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = make(map[string]bool)
+				}
+				lines[pos.Line][m[1]] = true
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden diagnostic files")
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func loadFixture(t *testing.T, l *Loader, rel string) *Package {
+	t.Helper()
+	pkg, err := l.Load(filepath.Join("internal/lint/testdata", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// checkGolden runs the analyzer over the fixture and compares the
+// rendered diagnostics with testdata/golden/<name>.txt.
+func checkGolden(t *testing.T, name string, pkgs []*Package, analyzers []Analyzer) {
+	t.Helper()
+	var b strings.Builder
+	for _, d := range Run(pkgs, analyzers) {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "golden", name+".txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWallclock(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "wallclock/clocked")
+	checkGolden(t, "wallclock", []*Package{pkg}, []Analyzer{NewWallclock()})
+}
+
+func TestWallclockAllowlist(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "wallclock/allowed")
+	w := NewWallclock()
+	w.AllowPkgs[pkg.Path] = true
+	if diags := Run([]*Package{pkg}, []Analyzer{w}); len(diags) != 0 {
+		t.Errorf("allowlisted package produced diagnostics: %v", diags)
+	}
+	// The same package off the allowlist is flagged.
+	if diags := Run([]*Package{pkg}, []Analyzer{NewWallclock()}); len(diags) != 1 {
+		t.Errorf("expected 1 diagnostic without allowlist, got %v", diags)
+	}
+}
+
+func TestGlobalRand(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "globalrand/randy")
+	checkGolden(t, "globalrand", []*Package{pkg}, []Analyzer{NewGlobalRand()})
+}
+
+func TestMapOrder(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "maporder/netsim")
+	checkGolden(t, "maporder", []*Package{pkg}, []Analyzer{NewMapOrder()})
+}
+
+func TestMapOrderSkipsNonCriticalPackages(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "maporder/netsim")
+	m := &MapOrder{CriticalPkgs: map[string]bool{"someotherpkg": true}}
+	if diags := Run([]*Package{pkg}, []Analyzer{m}); len(diags) != 1 {
+		// Only the reason-less annotation remains; map ranges pass.
+		t.Errorf("non-critical package should only report the bad annotation, got %v", diags)
+	}
+}
+
+func TestSchedBlock(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "schedblock/schedy")
+	checkGolden(t, "schedblock", []*Package{pkg}, []Analyzer{NewSchedBlock()})
+}
+
+// TestRepoClean is the acceptance gate in unit-test form: the default
+// suite over every package in the module must come back empty, i.e.
+// `go run ./cmd/simlint ./...` exits 0 on this tree.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	l := newTestLoader(t)
+	pkgs, err := l.LoadAll(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, DefaultSuite()) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

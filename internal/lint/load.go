@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("ddosim/internal/netsim").
+	Path string
+	// Dir is the absolute directory; Root the module root Dir sits
+	// under (diagnostics are rendered relative to it).
+	Dir  string
+	Root string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks the module's packages using only the
+// standard library: module-internal imports are resolved by loading
+// the corresponding directory, standard-library imports through the
+// go/importer source importer.
+type Loader struct {
+	Root   string // absolute module root (directory of go.mod)
+	Module string // module path from go.mod
+
+	fset    *token.FileSet
+	std     types.Importer
+	entries map[string]*loadEntry // by import path
+}
+
+type loadEntry struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+// NewLoader builds a loader for the module rooted at root (any
+// directory inside the module works; the loader walks up to go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks std from $GOROOT/src via
+	// go/build; cgo variants of net/os cannot be type-checked from
+	// source, so force the pure-Go build.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    modRoot,
+		Module:  modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		entries: make(map[string]*loadEntry),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and extracts
+// the module path.
+func findModule(dir string) (root, module string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+	}
+}
+
+// Import implements types.Importer: module-internal paths load from
+// the tree, everything else defers to the std source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load type-checks the package in dir (absolute, or relative to the
+// module root).
+func (l *Loader) Load(dir string) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.Root, dir)
+	}
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module root %s", dir, l.Root)
+	}
+	path := l.Module
+	if rel != "." {
+		path = l.Module + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path)
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if e, ok := l.entries[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	entry := &loadEntry{loading: true}
+	l.entries[path] = entry
+	pkg, err := l.typecheck(path)
+	entry.pkg, entry.err, entry.loading = pkg, err, false
+	return pkg, err
+}
+
+func (l *Loader) typecheck(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Root:  l.Root,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// goFileNames lists the non-test Go files of dir in sorted order.
+// Test files are outside simlint's scope: they run off the simulated
+// clock by nature and are covered by `go test -race` instead.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadAll loads every package under sub (absolute, or relative to the
+// module root; "" or "." for the whole module), skipping testdata,
+// hidden, and VCS directories. Packages load in sorted path order so
+// diagnostics and load errors are stable.
+func (l *Loader) LoadAll(sub string) ([]*Package, error) {
+	start := l.Root
+	if filepath.IsAbs(sub) {
+		start = sub
+	} else if sub != "" && sub != "." {
+		start = filepath.Join(l.Root, filepath.FromSlash(sub))
+	}
+	var dirs []string
+	err := filepath.WalkDir(start, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != start && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			names, err := goFileNames(p)
+			if err != nil {
+				return err
+			}
+			if len(names) > 0 {
+				dirs = append(dirs, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

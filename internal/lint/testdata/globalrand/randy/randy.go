@@ -1,0 +1,25 @@
+// Package randy is a simlint fixture: global math/rand use the
+// globalrand analyzer must flag, next to the injected-RNG idiom it
+// must not.
+package randy
+
+import "math/rand"
+
+// Bad: package-level functions draw from the shared global generator.
+func bad() float64 {
+	n := rand.Intn(10)
+	rand.Shuffle(n, func(i, j int) {})
+	return rand.Float64()
+}
+
+// BadSource: the generator's seed is hidden behind a variable, so the
+// rand.New(rand.NewSource(seed)) idiom cannot be verified.
+func badSource(src rand.Source) *rand.Rand {
+	return rand.New(src)
+}
+
+// Good: an inline-seeded generator, and methods on injected ones.
+func good(seed int64, rng *rand.Rand) float64 {
+	local := rand.New(rand.NewSource(seed))
+	return local.Float64() + rng.Float64()
+}

@@ -1,0 +1,8 @@
+// Package allowed is a simlint fixture standing in for an allowlisted
+// package (like internal/obs): wall-clock use here is policy.
+package allowed
+
+import "time"
+
+// WallNow is fine when the package is on the analyzer's allowlist.
+func WallNow() int64 { return time.Now().UnixNano() }

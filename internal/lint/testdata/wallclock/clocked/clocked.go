@@ -1,0 +1,26 @@
+// Package clocked is a simlint fixture: wall-clock use that the
+// wallclock analyzer must flag, next to time-package use it must not.
+package clocked
+
+import "time"
+
+// Bad: every one of these reads or waits on the host clock.
+func bad() time.Duration {
+	start := time.Now()
+	time.Sleep(10 * time.Millisecond)
+	timer := time.NewTimer(time.Second)
+	timer.Stop()
+	return time.Since(start)
+}
+
+// Good: durations, arithmetic on supplied values, and methods on
+// time.Time values are pure.
+func good(t time.Time, d time.Duration) time.Time {
+	const tick = 250 * time.Millisecond
+	return t.Add(d + tick)
+}
+
+// Allowed: an annotated call site is suppressed.
+func allowed() time.Time {
+	return time.Now() //simlint:allow wallclock(fixture: annotated escape hatch)
+}

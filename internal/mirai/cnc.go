@@ -115,7 +115,7 @@ func (c *CNC) Start(p *container.Process) {
 // same-seed reproducibility the trace layer promises.
 func (c *CNC) sortedConns() []*netsim.TCPConn {
 	conns := make([]*netsim.TCPConn, 0, len(c.bots))
-	for conn := range c.bots {
+	for conn := range c.bots { //simlint:allow maporder(collect-then-sort: conns are address-sorted before any side effect)
 		conns = append(conns, conn)
 	}
 	sort.Slice(conns, func(i, j int) bool {

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 
 	"ddosim/internal/sim"
 )
@@ -63,12 +64,13 @@ func (n *Node) AddAddr(a netip.Addr) { n.addrs[a] = true }
 // HasAddr reports whether the node owns address a.
 func (n *Node) HasAddr(a netip.Addr) bool { return n.addrs[a] }
 
-// Addrs returns the node's addresses in unspecified order.
+// Addrs returns the node's addresses in sorted order.
 func (n *Node) Addrs() []netip.Addr {
 	out := make([]netip.Addr, 0, len(n.addrs))
-	for a := range n.addrs {
+	for a := range n.addrs { //simlint:allow maporder(collect-then-sort: addresses are sorted before return)
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
@@ -80,7 +82,7 @@ func (n *Node) Addr6() netip.Addr { return n.firstAddr(true) }
 
 func (n *Node) firstAddr(v6 bool) netip.Addr {
 	var best netip.Addr
-	for a := range n.addrs {
+	for a := range n.addrs { //simlint:allow maporder(order-independent min reduction over pure netip.Addr comparisons)
 		if a.Is6() != v6 {
 			continue
 		}

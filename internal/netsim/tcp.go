@@ -40,13 +40,40 @@ type tcpHost struct {
 	node      *Node
 	listeners map[uint16]*TCPListener
 	conns     map[connKey]*TCPConn
+	// localPorts refcounts conns per local endpoint so ephemeral-port
+	// allocation is an O(1) lookup instead of a scan over the conn map
+	// — scanning was both O(n) per dial and a map-iteration order
+	// hazard on the simulation's hot path.
+	localPorts map[netip.AddrPort]int
 }
 
 func newTCPHost(n *Node) *tcpHost {
 	return &tcpHost{
-		node:      n,
-		listeners: make(map[uint16]*TCPListener),
-		conns:     make(map[connKey]*TCPConn),
+		node:       n,
+		listeners:  make(map[uint16]*TCPListener),
+		conns:      make(map[connKey]*TCPConn),
+		localPorts: make(map[netip.AddrPort]int),
+	}
+}
+
+// addConn registers a connection in the demux table, keeping the
+// local-endpoint refcount in step.
+func (h *tcpHost) addConn(c *TCPConn) {
+	h.conns[c.key] = c
+	h.localPorts[c.key.local]++
+}
+
+// removeConn is the inverse of addConn; removing an unknown key is a
+// no-op.
+func (h *tcpHost) removeConn(c *TCPConn) {
+	if _, ok := h.conns[c.key]; !ok {
+		return
+	}
+	delete(h.conns, c.key)
+	if h.localPorts[c.key.local] <= 1 {
+		delete(h.localPorts, c.key.local)
+	} else {
+		h.localPorts[c.key.local]--
 	}
 }
 
@@ -140,7 +167,7 @@ func (n *Node) DialTCP(dst netip.AddrPort, cb DialCallback) *TCPConn {
 	}
 	iss := uint32(n.sched.RNG().Int63())
 	c.sndUna, c.sndNxt, c.finAt = iss, iss+1, 0
-	n.tcp.conns[c.key] = c
+	n.tcp.addConn(c)
 	c.sendSegment(FlagSYN, iss, 0, nil)
 	c.armRTO()
 	return c
@@ -155,14 +182,7 @@ func (n *Node) localAddrPortFor(dst netip.Addr) netip.AddrPort {
 	}
 	for p := uint16(32768); ; p++ {
 		candidate := netip.AddrPortFrom(a, p)
-		busy := false
-		for k := range n.tcp.conns {
-			if k.local == candidate {
-				busy = true
-				break
-			}
-		}
-		if !busy {
+		if n.tcp.localPorts[candidate] == 0 {
 			return candidate
 		}
 	}
@@ -342,7 +362,7 @@ func (c *TCPConn) teardown(err error) {
 	c.state = stateClosed
 	c.closedErr = err
 	c.cancelRTO()
-	delete(c.host.conns, c.key)
+	c.host.removeConn(c)
 	if c.onDial != nil {
 		cb := c.onDial
 		c.onDial = nil
@@ -401,7 +421,7 @@ func (h *tcpHost) acceptSyn(l *TCPListener, pkt *Packet) {
 	iss := uint32(h.node.sched.RNG().Int63())
 	c.sndUna, c.sndNxt = iss, iss+1
 	c.rcvNxt = pkt.TCP.Seq + 1
-	h.conns[c.key] = c
+	h.addConn(c)
 	c.onDial = func(conn *TCPConn, err error) {
 		if err == nil {
 			l.accept(conn)

@@ -203,7 +203,7 @@ func (m *FlowMonitor) TopTalkers(n int) []struct {
 		Stats FlowStats
 	}
 	all := make([]pair, 0, len(m.flows))
-	for k, st := range m.flows {
+	for k, st := range m.flows { //simlint:allow maporder(collect-then-sort: flows are byte-count-sorted before use)
 		all = append(all, pair{Key: k, Stats: *st})
 	}
 	sort.Slice(all, func(i, j int) bool {
