@@ -39,12 +39,14 @@ func main() {
 type killChainRow struct {
 	Devs            int     `json:"devs"`
 	Seed            int64   `json:"seed"`
+	Queue           string  `json:"queue"`
 	WallMS          float64 `json:"wall_ms"`
 	SimSeconds      float64 `json:"sim_seconds"`
 	EventsProcessed uint64  `json:"events_processed"`
 	EventsPerSec    float64 `json:"events_per_wall_sec"`
 	PeakPending     int     `json:"peak_pending"`
 	WallNSPerSimSec int64   `json:"wall_ns_per_sim_sec"`
+	AllocsPerEvent  float64 `json:"allocs_per_event"`
 	Infected        int     `json:"infected"`
 	DReceivedKbps   float64 `json:"d_received_kbps"`
 	TraceEvents     int     `json:"trace_events"`
@@ -53,10 +55,12 @@ type killChainRow struct {
 // schedRow is one kernel-throughput measurement: a self-rescheduling
 // event chain with no simulation payload.
 type schedRow struct {
-	Events       int     `json:"events"`
-	WallMS       float64 `json:"wall_ms"`
-	EventsPerSec float64 `json:"events_per_wall_sec"`
-	NSPerEvent   float64 `json:"ns_per_event"`
+	Events         int     `json:"events"`
+	Queue          string  `json:"queue"`
+	WallMS         float64 `json:"wall_ms"`
+	EventsPerSec   float64 `json:"events_per_wall_sec"`
+	NSPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
 type suite struct {
@@ -96,49 +100,66 @@ func run() error {
 }
 
 // benchKillChain times one complete build-exploit-infect-flood-measure
-// cycle per (devs, seed), reading the kernel cost breakdown from the
-// run's own profiler.
+// cycle per (devs, seed, queue backend), reading the kernel cost
+// breakdown from the run's own profiler and the allocation rate from
+// the runtime's mallocs counter.
 func benchKillChain(devCounts []int, seeds int) ([]killChainRow, error) {
 	var rows []killChainRow
 	for _, devs := range devCounts {
 		for seed := int64(1); seed <= int64(seeds); seed++ {
-			cfg := ddosim.DefaultConfig(devs)
-			cfg.Seed = seed
-			cfg.SimDuration = 300 * ddosim.Second
-			cfg.AttackDuration = 30
-			cfg.RecruitTimeout = 60 * ddosim.Second
+			for _, queue := range []ddosim.QueueKind{ddosim.QueueHeap, ddosim.QueueCalendar} {
+				cfg := ddosim.DefaultConfig(devs)
+				cfg.Seed = seed
+				cfg.SchedQueue = queue
+				cfg.SimDuration = 300 * ddosim.Second
+				cfg.AttackDuration = 30
+				cfg.RecruitTimeout = 60 * ddosim.Second
 
-			s, err := ddosim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			start := time.Now()
-			r, err := s.Run()
-			if err != nil {
-				return nil, err
-			}
-			wall := time.Since(start)
+				s, err := ddosim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				mallocs0 := mallocCount()
+				r, err := s.Run()
+				if err != nil {
+					return nil, err
+				}
+				mallocs := mallocCount() - mallocs0
+				wall := time.Since(start)
 
-			sum := r.Obs
-			row := killChainRow{
-				Devs:            devs,
-				Seed:            seed,
-				WallMS:          float64(wall.Microseconds()) / 1000,
-				SimSeconds:      cfg.SimDuration.Seconds(),
-				EventsProcessed: sum.EventsDelivered,
-				PeakPending:     sum.PeakPending,
-				WallNSPerSimSec: sum.WallNSPerSimSec,
-				Infected:        r.Infected,
-				DReceivedKbps:   r.DReceivedKbps,
-				TraceEvents:     sum.TraceEvents,
+				sum := r.Obs
+				row := killChainRow{
+					Devs:            devs,
+					Seed:            seed,
+					Queue:           string(queue),
+					WallMS:          float64(wall.Microseconds()) / 1000,
+					SimSeconds:      cfg.SimDuration.Seconds(),
+					EventsProcessed: sum.EventsDelivered,
+					PeakPending:     sum.PeakPending,
+					WallNSPerSimSec: sum.WallNSPerSimSec,
+					Infected:        r.Infected,
+					DReceivedKbps:   r.DReceivedKbps,
+					TraceEvents:     sum.TraceEvents,
+				}
+				if sum.EventsDelivered > 0 {
+					row.AllocsPerEvent = float64(mallocs) / float64(sum.EventsDelivered)
+				}
+				if secs := wall.Seconds(); secs > 0 {
+					row.EventsPerSec = float64(sum.EventsDelivered) / secs
+				}
+				rows = append(rows, row)
 			}
-			if secs := wall.Seconds(); secs > 0 {
-				row.EventsPerSec = float64(sum.EventsDelivered) / secs
-			}
-			rows = append(rows, row)
 		}
 	}
 	return rows, nil
+}
+
+// mallocCount reads the runtime's cumulative heap-allocation counter.
+func mallocCount() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs
 }
 
 // benchScheduler measures raw kernel throughput: a chain of
@@ -147,30 +168,36 @@ func benchKillChain(devCounts []int, seeds int) ([]killChainRow, error) {
 func benchScheduler() []schedRow {
 	var rows []schedRow
 	for _, events := range []int{100_000, 1_000_000} {
-		sched := sim.NewScheduler(1)
-		left := events
-		var tick func()
-		tick = func() {
-			left--
-			if left > 0 {
-				sched.Schedule(sim.Microsecond, tick)
+		for _, queue := range []sim.QueueKind{sim.QueueHeap, sim.QueueCalendar} {
+			sched := sim.NewSchedulerQueue(1, queue)
+			left := events
+			var tick func()
+			tick = func() {
+				left--
+				if left > 0 {
+					sched.Schedule(sim.Microsecond, tick)
+				}
 			}
+			sched.Schedule(0, tick)
+			start := time.Now()
+			mallocs0 := mallocCount()
+			if err := sched.RunAll(); err != nil {
+				continue
+			}
+			mallocs := mallocCount() - mallocs0
+			wall := time.Since(start)
+			row := schedRow{
+				Events:         events,
+				Queue:          string(queue),
+				WallMS:         float64(wall.Microseconds()) / 1000,
+				AllocsPerEvent: float64(mallocs) / float64(events),
+			}
+			if secs := wall.Seconds(); secs > 0 {
+				row.EventsPerSec = float64(events) / secs
+				row.NSPerEvent = float64(wall.Nanoseconds()) / float64(events)
+			}
+			rows = append(rows, row)
 		}
-		sched.Schedule(0, tick)
-		start := time.Now()
-		if err := sched.RunAll(); err != nil {
-			continue
-		}
-		wall := time.Since(start)
-		row := schedRow{
-			Events: events,
-			WallMS: float64(wall.Microseconds()) / 1000,
-		}
-		if secs := wall.Seconds(); secs > 0 {
-			row.EventsPerSec = float64(events) / secs
-			row.NSPerEvent = float64(wall.Nanoseconds()) / float64(events)
-		}
-		rows = append(rows, row)
 	}
 	return rows
 }

@@ -53,6 +53,7 @@ func run() error {
 		spark     = flag.Bool("sparkline", false, "print a sparkline of the per-second rate")
 		traceOut  = flag.String("trace", "", "write the run trace to this file (Chrome trace_event JSON; a .jsonl extension selects JSONL)")
 		promOut   = flag.String("metrics-out", "", "write a Prometheus-style metrics dump to this file")
+		schedQ    = flag.String("sched-queue", "heap", "event-queue backend: heap|calendar (byte-identical results, speed only)")
 	)
 	flag.Parse()
 
@@ -86,6 +87,11 @@ func run() error {
 		return err
 	}
 	cfg.Churn = mode
+	kind, err := ddosim.ParseQueueKind(*schedQ)
+	if err != nil {
+		return err
+	}
+	cfg.SchedQueue = kind
 
 	sim, err := ddosim.New(cfg)
 	if err != nil {

@@ -54,6 +54,17 @@ type ChurnMode = churn.Mode
 // Time is a point or span of simulated time in nanoseconds.
 type Time = sim.Time
 
+// QueueKind selects the event-queue backend for Config.SchedQueue.
+// Backends are byte-identical on the same seed; the choice only
+// affects speed.
+type QueueKind = sim.QueueKind
+
+// Event-queue backends, mirroring NS-3's scheduler family.
+const (
+	QueueHeap     = sim.QueueHeap
+	QueueCalendar = sim.QueueCalendar
+)
+
 // DataRate is a link rate in bits per second.
 type DataRate = netsim.DataRate
 
@@ -139,3 +150,7 @@ func Run(cfg Config) (*Results, error) {
 // ParseChurnMode converts a CLI string (none|static|dynamic) into a
 // ChurnMode.
 func ParseChurnMode(s string) (ChurnMode, error) { return churn.ParseMode(s) }
+
+// ParseQueueKind converts a CLI string (heap|calendar; empty means
+// heap) into a QueueKind.
+func ParseQueueKind(s string) (QueueKind, error) { return sim.ParseQueueKind(s) }

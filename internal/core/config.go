@@ -140,6 +140,13 @@ type Config struct {
 	// SeedCount (credentials vector only) is how many victims the
 	// attacker's sequential seed scanner plants before stopping.
 	SeedCount int
+
+	// SchedQueue selects the event-queue backend (sim.QueueHeap or
+	// sim.QueueCalendar, mirroring NS-3's scheduler family). Empty
+	// selects the heap. Backends are observationally identical — the
+	// same seed yields byte-identical artifacts on either — so this is
+	// purely a performance knob.
+	SchedQueue sim.QueueKind
 }
 
 // DefaultConfig returns the paper's baseline parameters for a fleet of
@@ -199,6 +206,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: CanaryFraction %v outside [0,1]", c.CanaryFraction)
 	case c.AttackMethod != "" && !mirai.KnownMethod(c.AttackMethod):
 		return fmt.Errorf("core: unknown attack method %q", c.AttackMethod)
+	case c.SchedQueue != "" && c.SchedQueue != sim.QueueHeap && c.SchedQueue != sim.QueueCalendar:
+		return fmt.Errorf("core: unknown scheduler queue %q", c.SchedQueue)
 	}
 	if c.Vector == VectorCredentials && c.NumDevs > 200 {
 		// Scanners sweep 10.0.0.0/24; the paper's fleets stay within

@@ -16,9 +16,14 @@ import (
 // replaced with a deterministic counter so the report's observability
 // summary is seed-determined too.
 func runOnce(t *testing.T, seed int64) (reportJSON, traceJSONL, chromeTrace []byte) {
+	return runOnceQueue(t, seed, "")
+}
+
+func runOnceQueue(t *testing.T, seed int64, queue sim.QueueKind) (reportJSON, traceJSONL, chromeTrace []byte) {
 	t.Helper()
 	cfg := core.DefaultConfig(10)
 	cfg.Seed = seed
+	cfg.SchedQueue = queue
 	cfg.Churn = churn.Dynamic
 	cfg.SimDuration = 300 * sim.Second
 	cfg.AttackDuration = 30
@@ -75,6 +80,26 @@ func TestSameSeedByteIdenticalArtifacts(t *testing.T) {
 	rep3, _, _ := runOnce(t, 99)
 	if bytes.Equal(rep1, rep3) {
 		t.Error("different seeds produced identical report JSON; scenario is not seed-sensitive")
+	}
+}
+
+// TestQueueBackendsByteIdenticalArtifacts pins the scheduler-backend
+// contract: the heap and calendar queues implement the same (time, seq)
+// total order, so swapping them must not move a single byte in any
+// exported artifact. This is what makes SchedQueue a pure performance
+// knob.
+func TestQueueBackendsByteIdenticalArtifacts(t *testing.T) {
+	repH, jsonlH, chromeH := runOnceQueue(t, 1234, sim.QueueHeap)
+	repC, jsonlC, chromeC := runOnceQueue(t, 1234, sim.QueueCalendar)
+
+	if !bytes.Equal(repH, repC) {
+		t.Errorf("heap vs calendar report JSON differs:\n%s", firstDiff(repH, repC))
+	}
+	if !bytes.Equal(jsonlH, jsonlC) {
+		t.Errorf("heap vs calendar trace JSONL differs:\n%s", firstDiff(jsonlH, jsonlC))
+	}
+	if !bytes.Equal(chromeH, chromeC) {
+		t.Errorf("heap vs calendar Chrome traces differ:\n%s", firstDiff(chromeH, chromeC))
 	}
 }
 

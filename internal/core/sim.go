@@ -93,7 +93,7 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	s := &Simulation{
 		cfg:            cfg,
-		sched:          sim.NewScheduler(cfg.Seed),
+		sched:          sim.NewSchedulerQueue(cfg.Seed, cfg.SchedQueue),
 		timeline:       metrics.NewTimeline(),
 		obs:            obs.New(),
 		devByAddr:      make(map[netip.Addr]*Dev),

@@ -287,16 +287,12 @@ func (b *Bot) sendRawTCP(dst netip.AddrPort, flags netsim.TCPFlags) {
 		src = node.Addr6()
 	}
 	rng := b.p.RNG()
-	pkt := &netsim.Packet{
-		UID:   node.Network().NextUID(),
-		Proto: netsim.ProtoTCP,
-		Src:   netip.AddrPortFrom(src, uint16(1024+rng.Intn(64000))),
-		Dst:   dst,
-		TCP: &netsim.TCPHeader{
-			Flags: flags,
-			Seq:   uint32(rng.Int63()),
-		},
-	}
+	pkt := node.Network().AllocPacket()
+	pkt.UID = node.Network().NextUID()
+	pkt.Proto = netsim.ProtoTCP
+	pkt.Src = netip.AddrPortFrom(src, uint16(1024+rng.Intn(64000)))
+	pkt.Dst = dst
+	pkt.SetTCP(flags, uint32(rng.Int63()), 0)
 	node.SendPacket(pkt)
 }
 

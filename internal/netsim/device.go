@@ -34,9 +34,19 @@ type NetDevice struct {
 	rate  DataRate
 	delay sim.Time
 
-	queue        []*Packet
+	// queue is the drop-tail egress buffer; inflight holds frames that
+	// finished serializing and are propagating toward the peer. Both are
+	// rings so the steady-state tx path never allocates. The tx and
+	// prop callbacks are bound once at Connect for the same reason — a
+	// closure per frame was one of the two allocations on the flood
+	// path.
+	queue        pktRing
+	inflight     pktRing
 	queueLimit   int
 	transmitting bool
+	txEvent      sim.EventID
+	txFn         func()
+	propFn       func()
 	up           bool
 	lossRate     float64
 
@@ -57,6 +67,8 @@ func Connect(a, b *Node, rate DataRate, delay sim.Time, queueLimit int) (*NetDev
 	}
 	da := &NetDevice{node: a, sched: a.sched, rate: rate, delay: delay, queueLimit: queueLimit, up: true}
 	db := &NetDevice{node: b, sched: b.sched, rate: rate, delay: delay, queueLimit: queueLimit, up: true}
+	da.txFn, da.propFn = da.finishTx, da.arriveProp
+	db.txFn, db.propFn = db.finishTx, db.arriveProp
 	da.peer = db
 	db.peer = da
 	a.attach(da)
@@ -88,79 +100,101 @@ func (d *NetDevice) SetRate(r DataRate) { d.rate = r }
 // Stats returns a copy of the device counters.
 func (d *NetDevice) Stats() DeviceStats {
 	st := d.stats
-	st.CurrentLoad = len(d.queue)
+	st.CurrentLoad = d.queue.len()
 	return st
 }
 
 // IsUp reports whether the device is administratively up.
 func (d *NetDevice) IsUp() bool { return d.up }
 
-// SetUp brings the device up or down. Bringing a device down flushes
-// its egress queue and silently discards anything in flight toward it;
-// this is how churn disconnects a Dev.
+// SetUp brings the device up or down. Bringing a device down cancels
+// the in-progress transmission, flushes its egress queue, and silently
+// discards anything in flight toward it; this is how churn disconnects
+// a Dev. Frames already propagating on the wire still arrive (and are
+// dropped by the peer if it is down too).
 func (d *NetDevice) SetUp(up bool) {
 	if d.up == up {
 		return
 	}
 	d.up = up
 	if !up {
-		d.node.net.addQueued(-len(d.queue))
-		d.queue = nil
-		d.transmitting = false
+		if d.transmitting {
+			d.sched.Cancel(d.txEvent)
+			d.transmitting = false
+		}
+		d.node.net.addQueued(-d.queue.len())
+		for d.queue.len() > 0 {
+			d.node.net.putPacket(d.queue.pop())
+		}
 	}
 }
 
-// Send enqueues a frame for transmission. The frame is dropped when the
-// device is down or the drop-tail queue is full.
+// Send enqueues a frame for transmission, taking ownership of pkt. The
+// frame is dropped (and freed) when the device is down or the drop-tail
+// queue is full.
 func (d *NetDevice) Send(pkt *Packet) {
 	if !d.up {
 		d.stats.DownDrops++
+		d.node.net.putPacket(pkt)
 		return
 	}
-	if len(d.queue) >= d.queueLimit {
+	if d.queue.len() >= d.queueLimit {
 		d.stats.QueueDrops++
 		d.node.net.countDrop(d.node.name, "drop-tail")
+		d.node.net.putPacket(pkt)
 		return
 	}
-	d.queue = append(d.queue, pkt)
+	d.queue.push(pkt)
 	d.node.net.addQueued(1)
-	if len(d.queue) > d.stats.PeakQueue {
-		d.stats.PeakQueue = len(d.queue)
+	if d.queue.len() > d.stats.PeakQueue {
+		d.stats.PeakQueue = d.queue.len()
 	}
 	if !d.transmitting {
 		d.transmitNext()
 	}
 }
 
+// transmitNext starts serializing the frame at the head of the queue.
+// The completion event is remembered in txEvent so SetUp(false) can
+// cancel it instead of letting a stale completion fire against a
+// flushed (or refilled) queue.
 func (d *NetDevice) transmitNext() {
-	if !d.up || len(d.queue) == 0 {
+	if !d.up || d.queue.len() == 0 {
 		d.transmitting = false
 		return
 	}
 	d.transmitting = true
-	pkt := d.queue[0]
-	txTime := d.rate.TxTime(pkt.Size())
-	d.sched.ScheduleSrc(txTime, "net.tx", func() {
-		if !d.up {
-			// Went down mid-transmission; queue was already flushed.
-			d.transmitting = false
-			return
-		}
-		if len(d.queue) == 0 || d.queue[0] != pkt {
-			// Defensive: queue was flushed and refilled while down/up.
-			d.transmitting = false
-			return
-		}
-		d.queue[0] = nil
-		d.queue = d.queue[1:]
-		d.node.net.addQueued(-1)
-		d.stats.TxPackets++
-		d.stats.TxBytes += uint64(pkt.Size())
-		d.node.net.countTx(pkt.Size(), pkt.Proto)
-		peer := d.peer
-		d.sched.ScheduleSrc(d.delay, "net.prop", func() { peer.receive(pkt) })
-		d.transmitNext()
-	})
+	txTime := d.rate.TxTime(d.queue.peek().Size())
+	d.txEvent = d.sched.ScheduleSrc(txTime, "net.tx", d.txFn)
+}
+
+// finishTx completes serialization of the head frame: it leaves the
+// queue, enters the in-flight window, and its arrival at the peer is
+// scheduled one propagation delay out.
+func (d *NetDevice) finishTx() {
+	if !d.up || d.queue.len() == 0 {
+		// Unreachable in normal operation: SetUp(false) cancels the
+		// completion event. Kept as a safety net.
+		d.transmitting = false
+		return
+	}
+	pkt := d.queue.pop()
+	d.node.net.addQueued(-1)
+	size := pkt.Size()
+	d.stats.TxPackets++
+	d.stats.TxBytes += uint64(size)
+	d.node.net.countTx(size, pkt.Proto)
+	d.inflight.push(pkt)
+	d.sched.ScheduleSrc(d.delay, "net.prop", d.propFn)
+	d.transmitNext()
+}
+
+// arriveProp delivers the oldest in-flight frame to the peer. Matching
+// arrivals to frames by FIFO position is sound because every flight on
+// this device takes the same fixed delay and the scheduler is FIFO
+// within a timestamp: arrival events fire in exactly push order.
+func (d *NetDevice) arriveProp() {
+	d.peer.receive(d.inflight.pop())
 }
 
 // SetLossRate makes the device drop each received frame independently
@@ -179,11 +213,13 @@ func (d *NetDevice) LossRate() float64 { return d.lossRate }
 func (d *NetDevice) receive(pkt *Packet) {
 	if !d.up {
 		d.stats.DownDrops++
+		d.node.net.putPacket(pkt)
 		return
 	}
 	if d.lossRate > 0 && d.sched.RNG().Float64() < d.lossRate {
 		d.stats.LossDrops++
 		d.node.net.countDrop(d.node.name, "loss")
+		d.node.net.putPacket(pkt)
 		return
 	}
 	d.stats.RxPackets++

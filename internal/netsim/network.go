@@ -37,6 +37,11 @@ type Network struct {
 
 	stats NetworkStats
 
+	// Packet free list (see pool.go).
+	pool       []*Packet
+	poolReused uint64
+	poolAllocs uint64
+
 	// Observability (optional; see Observe). The counters are cached
 	// here so the per-frame hot path skips the registry map lookups.
 	trace        *obs.Tracer
@@ -215,8 +220,13 @@ func (w *Network) countTx(frameLen int, proto Protocol) {
 func (w *Network) countDrop(node, reason string) {
 	w.stats.Drops++
 	w.ctrDrops.Inc()
-	w.trace.Event(w.sched.Now(), obs.CatNet, "queue-drop",
-		obs.KV{K: "node", V: node}, obs.KV{K: "reason", V: reason})
+	if w.trace != nil {
+		// Guarded even though Tracer is nil-safe: building the variadic
+		// args slice costs an allocation per drop, which an untraced
+		// flood run should not pay.
+		w.trace.Event(w.sched.Now(), obs.CatNet, "queue-drop",
+			obs.KV{K: "node", V: node}, obs.KV{K: "reason", V: reason})
+	}
 }
 
 func (w *Network) addQueued(delta int) {

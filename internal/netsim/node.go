@@ -138,17 +138,22 @@ func (n *Node) attach(d *NetDevice) {
 
 // SendPacket routes a locally-originated packet: delivered in place when
 // addressed to this node, otherwise queued on the route's device.
+// SendPacket takes ownership of pkt (see Packet).
 func (n *Node) SendPacket(pkt *Packet) {
 	dst := pkt.Dst.Addr()
 	if n.addrs[dst] {
 		// Loopback: deliver after a negligible local delay to keep
 		// event ordering sane.
-		n.sched.Schedule(sim.Microsecond, func() { n.deliverLocal(pkt) })
+		n.sched.Schedule(sim.Microsecond, func() {
+			n.deliverLocal(pkt)
+			n.net.putPacket(pkt)
+		})
 		return
 	}
 	dev := n.lookupRoute(dst)
 	if dev == nil {
 		n.localDrops++
+		n.net.putPacket(pkt)
 		return
 	}
 	dev.Send(pkt)
@@ -161,7 +166,9 @@ func (n *Node) lookupRoute(dst netip.Addr) *NetDevice {
 	return n.defDev
 }
 
-// handleReceive is the node's IP input path.
+// handleReceive is the node's IP input path. It owns pkt: the packet is
+// either handed on to an egress device (forwarding) or freed here after
+// its terminal delivery or drop.
 func (n *Node) handleReceive(in *NetDevice, pkt *Packet) {
 	dst := pkt.Dst.Addr()
 	switch {
@@ -172,32 +179,43 @@ func (n *Node) handleReceive(in *NetDevice, pkt *Packet) {
 		if n.forward {
 			n.floodMulticast(in, pkt)
 		}
+		n.net.putPacket(pkt)
 	case n.addrs[dst]:
 		n.deliverLocal(pkt)
+		n.net.putPacket(pkt)
 	case n.forward:
 		dev := n.lookupRoute(dst)
 		if dev == nil || dev == in {
 			n.localDrops++
+			n.net.putPacket(pkt)
 			return
 		}
 		dev.Send(pkt)
 	default:
 		n.localDrops++
+		n.net.putPacket(pkt)
 	}
 }
 
 // floodMulticast forwards a multicast packet out every port except the
 // ingress one. The paper's simulated network likewise relays the
-// attacker's DHCPv6 RELAY-FORW messages to every Dev.
+// attacker's DHCPv6 RELAY-FORW messages to every Dev. Each egress gets
+// its own clone (payload deep-copied, struct pooled); the caller still
+// owns the original.
 func (n *Node) floodMulticast(in *NetDevice, pkt *Packet) {
 	for _, d := range n.devs {
 		if d == in {
 			continue
 		}
-		d.Send(pkt.Clone())
+		d.Send(n.net.clonePacket(pkt))
 	}
 }
 
+// deliverLocal runs the packet through the ingress filter, taps, and
+// transport demux. It never frees pkt — the caller retains ownership —
+// and every callee must treat the packet as borrowed for the duration
+// of the call (Payload may be retained; the *Packet and TCP header may
+// not).
 func (n *Node) deliverLocal(pkt *Packet) {
 	if n.filter != nil && !n.filter(pkt) {
 		n.filterDrops++

@@ -60,6 +60,17 @@ type TCPHeader struct {
 // Pad adds virtual payload bytes that occupy wire capacity without
 // being materialized, which keeps multi-gigabyte floods cheap to
 // simulate.
+//
+// Ownership: packets are single-owner values recycled through the
+// network's free list. Handing a packet to Node.SendPacket or
+// NetDevice.Send transfers ownership — the network frees it into the
+// pool at its terminal point (local delivery or any drop), after which
+// the sender must not touch it. Callees on the receive side (PacketTap,
+// IngressFilter, transport internals) see the packet only for the
+// duration of the callback and must not retain the *Packet or the
+// p.TCP pointer. Retaining the Payload slice IS allowed: payload
+// backing arrays are never pooled, so a handler that keeps delivered
+// bytes (exploit payloads, C&C commands) stays correct.
 type Packet struct {
 	UID     uint64
 	Proto   Protocol
@@ -68,6 +79,17 @@ type Packet struct {
 	Payload []byte
 	Pad     int
 	TCP     *TCPHeader
+
+	// hdr is in-struct storage for the TCP header; SetTCP points TCP at
+	// it so a pooled packet's header rides the same allocation.
+	hdr TCPHeader
+}
+
+// SetTCP stamps a TCP header onto the packet without allocating: the
+// header lives inside the Packet struct and is recycled with it.
+func (p *Packet) SetTCP(flags TCPFlags, seq, ack uint32) {
+	p.hdr = TCPHeader{Flags: flags, Seq: seq, Ack: ack}
+	p.TCP = &p.hdr
 }
 
 // PayloadSize reports the application-layer size in bytes, including
@@ -101,8 +123,8 @@ func (p *Packet) Clone() *Packet {
 		copy(cp.Payload, p.Payload)
 	}
 	if p.TCP != nil {
-		hdr := *p.TCP
-		cp.TCP = &hdr
+		cp.hdr = *p.TCP
+		cp.TCP = &cp.hdr
 	}
 	return &cp
 }

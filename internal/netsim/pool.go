@@ -1,0 +1,117 @@
+package netsim
+
+// Packet pooling. The UDP flood is the simulator's hottest producer:
+// one datagram per event for the whole attack window. Recycling the
+// Packet structs through a per-network free list makes the steady-state
+// flood path allocation-free. See the ownership rules on Packet.
+
+// packetPoolCap bounds the free list so a burst (a deep drop-tail queue
+// draining at once) cannot pin an unbounded number of dead structs.
+const packetPoolCap = 4096
+
+// PoolStats reports packet free-list effectiveness.
+type PoolStats struct {
+	// Reused counts allocations served from the free list.
+	Reused uint64
+	// Allocated counts packets that had to be heap-allocated.
+	Allocated uint64
+	// Free is the current free-list depth.
+	Free int
+}
+
+// PoolStats returns the packet free-list counters.
+func (w *Network) PoolStats() PoolStats {
+	return PoolStats{Reused: w.poolReused, Allocated: w.poolAllocs, Free: len(w.pool)}
+}
+
+// AllocPacket returns a zeroed packet, recycled when possible. The
+// caller populates it and hands it to Node.SendPacket or NetDevice.Send
+// exactly once; ownership transfers with the send (see Packet).
+// Plain &Packet{} literals remain valid senders — they simply join the
+// pool after their terminal delivery or drop.
+func (w *Network) AllocPacket() *Packet { return w.getPacket() }
+
+func (w *Network) getPacket() *Packet {
+	if n := len(w.pool); n > 0 {
+		p := w.pool[n-1]
+		w.pool[n-1] = nil
+		w.pool = w.pool[:n-1]
+		w.poolReused++
+		return p
+	}
+	w.poolAllocs++
+	return &Packet{}
+}
+
+// putPacket retires a packet at its terminal point (delivered locally,
+// or dropped). The struct is zeroed — dropping its Payload and TCP
+// references — before joining the free list, so recycled packets carry
+// nothing over. Payload backing arrays are never pooled.
+func (w *Network) putPacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	*p = Packet{}
+	if len(w.pool) < packetPoolCap {
+		w.pool = append(w.pool, p)
+	}
+}
+
+// clonePacket is Packet.Clone on the free list: the struct is recycled,
+// the payload copy is fresh (receivers may retain payload slices, so
+// backing arrays are never shared with or recycled from the pool).
+func (w *Network) clonePacket(p *Packet) *Packet {
+	cp := w.getPacket()
+	cp.UID, cp.Proto, cp.Src, cp.Dst, cp.Pad = p.UID, p.Proto, p.Src, p.Dst, p.Pad
+	if p.Payload != nil {
+		cp.Payload = make([]byte, len(p.Payload))
+		copy(cp.Payload, p.Payload)
+	}
+	if p.TCP != nil {
+		cp.hdr = *p.TCP
+		cp.TCP = &cp.hdr
+	}
+	return cp
+}
+
+// pktRing is a growable FIFO of packets backed by a circular buffer —
+// the storage for a device's egress queue and in-flight window. Push
+// and pop are O(1) and steady-state allocation-free; the buffer only
+// grows, up to the high-water mark of its queue.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int { return r.n }
+
+func (r *pktRing) push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *pktRing) grow() {
+	size := 2 * len(r.buf)
+	if size < 8 {
+		size = 8
+	}
+	nb := make([]*Packet, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *pktRing) peek() *Packet { return r.buf[r.head] }
+
+func (r *pktRing) pop() *Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
+}

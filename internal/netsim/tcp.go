@@ -242,14 +242,13 @@ func (c *TCPConn) node() *Node { return c.host.node }
 
 func (c *TCPConn) sendSegment(flags TCPFlags, seq, ack uint32, payload []byte) {
 	n := c.node()
-	pkt := &Packet{
-		UID:     n.net.NextUID(),
-		Proto:   ProtoTCP,
-		Src:     c.key.local,
-		Dst:     c.key.remote,
-		Payload: payload,
-		TCP:     &TCPHeader{Flags: flags, Seq: seq, Ack: ack},
-	}
+	pkt := n.net.getPacket()
+	pkt.UID = n.net.NextUID()
+	pkt.Proto = ProtoTCP
+	pkt.Src = c.key.local
+	pkt.Dst = c.key.remote
+	pkt.Payload = payload
+	pkt.SetTCP(flags, seq, ack)
 	n.SendPacket(pkt)
 }
 
@@ -401,13 +400,12 @@ func (h *tcpHost) deliver(pkt *Packet) {
 }
 
 func (h *tcpHost) sendRST(in *Packet) {
-	pkt := &Packet{
-		UID:   h.node.net.NextUID(),
-		Proto: ProtoTCP,
-		Src:   in.Dst,
-		Dst:   in.Src,
-		TCP:   &TCPHeader{Flags: FlagRST, Seq: in.TCP.Ack, Ack: in.TCP.Seq + 1},
-	}
+	pkt := h.node.net.getPacket()
+	pkt.UID = h.node.net.NextUID()
+	pkt.Proto = ProtoTCP
+	pkt.Src = in.Dst
+	pkt.Dst = in.Src
+	pkt.SetTCP(FlagRST, in.TCP.Ack, in.TCP.Seq+1)
 	h.node.SendPacket(pkt)
 }
 

@@ -23,6 +23,13 @@ type CaptureEntry struct {
 	Bytes int
 }
 
+// String renders the entry in tcpdump style. Formatting is deferred to
+// render time: recording stores plain values only, so a capture that is
+// never printed costs zero formatting allocations per packet.
+func (e CaptureEntry) String() string {
+	return fmt.Sprintf("%s %s %s > %s len=%d", e.At, e.Proto, e.Src, e.Dst, e.Bytes)
+}
+
 // Capture records packets delivered at a node, like tcpdump with a
 // ring buffer. When bounded, the ring overwrites its oldest entry in
 // O(1) — no shifting — so a full capture costs the same per packet as
@@ -126,8 +133,8 @@ func (c *Capture) String() string {
 			fmt.Fprintf(&b, "... %d more\n", c.count-i)
 			break
 		}
-		e := c.at(i)
-		fmt.Fprintf(&b, "%s %s %s > %s len=%d\n", e.At, e.Proto, e.Src, e.Dst, e.Bytes)
+		b.WriteString(c.at(i).String())
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -77,14 +77,13 @@ func (s *UDPSocket) SendPadded(dst netip.AddrPort, payload []byte, pad int) {
 		return
 	}
 	src := s.localAddrFor(dst.Addr())
-	pkt := &Packet{
-		UID:     s.node.net.NextUID(),
-		Proto:   ProtoUDP,
-		Src:     netip.AddrPortFrom(src, s.port),
-		Dst:     dst,
-		Payload: payload,
-		Pad:     pad,
-	}
+	pkt := s.node.net.getPacket()
+	pkt.UID = s.node.net.NextUID()
+	pkt.Proto = ProtoUDP
+	pkt.Src = netip.AddrPortFrom(src, s.port)
+	pkt.Dst = dst
+	pkt.Payload = payload
+	pkt.Pad = pad
 	s.TxDatagrams++
 	s.node.SendPacket(pkt)
 }

@@ -1,0 +1,185 @@
+package sim
+
+// calendarQueue is a calendar queue (Brown 1988), the structure behind
+// NS-3's CalendarScheduler: a circular array of "day" buckets, each a
+// small sorted slice, indexed by event time modulo the "year". With
+// event times spread roughly uniformly — the common case for a DES
+// whose load is periodic traffic — push and pop are amortized O(1).
+//
+// Correctness does not depend on the width heuristic: the year scan
+// pops the true (time, seq) minimum among in-year events, out-of-year
+// events are provably later, and ties share a bucket where insertion
+// keeps them seq-sorted. A bad width only costs speed.
+type calendarQueue struct {
+	buckets [][]Item
+	width   Time // duration of one bucket's day
+	size    int
+
+	// Search state: lastBucket's current window is
+	// [bucketTop-width, bucketTop), and every queued item is at or
+	// after that window's start. lastAt is the priority of the most
+	// recently popped item; the Scheduler never pushes earlier than
+	// the last pop (it clamps to now), which maintains the invariant.
+	lastBucket int
+	bucketTop  Time
+	lastAt     Time
+}
+
+// calendar sizing: buckets double above two items per bucket and halve
+// below one-half, so the mean bucket stays O(1) items deep.
+const calendarMinBuckets = 2
+
+func newCalendarQueue() *calendarQueue {
+	c := &calendarQueue{}
+	c.setShape(calendarMinBuckets, 1, 0)
+	return c
+}
+
+// setShape installs a bucket count and day width and re-anchors the
+// search state at time start.
+func (c *calendarQueue) setShape(n int, width Time, start Time) {
+	c.buckets = make([][]Item, n)
+	c.width = width
+	c.lastAt = start
+	c.lastBucket = int((start / width) % Time(n))
+	c.bucketTop = (start/width)*width + width
+}
+
+func (c *calendarQueue) Len() int { return c.size }
+
+func (c *calendarQueue) Push(it Item) {
+	if it.At < c.lastAt {
+		// Defensive rewind: the scheduler clamps schedules to now, so
+		// this only happens when a drained queue is refilled (heap
+		// compaction re-pushes in ascending order). Re-anchor the scan
+		// so the invariant "no item before the current window" holds.
+		c.lastAt = it.At
+		c.lastBucket = int((it.At / c.width) % Time(len(c.buckets)))
+		c.bucketTop = (it.At/c.width)*c.width + c.width
+	}
+	c.insert(it)
+	if c.size > 2*len(c.buckets) {
+		c.resize(2 * len(c.buckets))
+	}
+}
+
+// insert places an item in its day bucket, keeping the bucket sorted.
+// Insertion scans from the tail: a DES pushes mostly near-future
+// times, which land at or near the end.
+func (c *calendarQueue) insert(it Item) {
+	i := int((it.At / c.width) % Time(len(c.buckets)))
+	b := append(c.buckets[i], it)
+	j := len(b) - 1
+	for j > 0 && itemLess(it, b[j-1]) {
+		b[j] = b[j-1]
+		j--
+	}
+	b[j] = it
+	c.buckets[i] = b
+	c.size++
+}
+
+// findMin locates the bucket holding the minimum item and the window
+// top at which the scan found it. It never mutates state, so Peek is
+// safe to interleave with pushes of earlier times.
+func (c *calendarQueue) findMin() (bucket int, top Time) {
+	n := len(c.buckets)
+	i := c.lastBucket
+	top = c.bucketTop
+	for k := 0; k < n; k++ {
+		if b := c.buckets[i]; len(b) > 0 && b[0].At < top {
+			return i, top
+		}
+		i++
+		if i == n {
+			i = 0
+		}
+		top += c.width
+	}
+	// Every event is more than a year out: direct search over bucket
+	// minima. Equal times share a bucket, so comparing heads is a
+	// total order.
+	best := -1
+	for idx := range c.buckets {
+		b := c.buckets[idx]
+		if len(b) == 0 {
+			continue
+		}
+		if best < 0 || itemLess(b[0], c.buckets[best][0]) {
+			best = idx
+		}
+	}
+	at := c.buckets[best][0].At
+	return best, (at/c.width)*c.width + c.width
+}
+
+func (c *calendarQueue) Peek() (Item, bool) {
+	if c.size == 0 {
+		return Item{}, false
+	}
+	i, _ := c.findMin()
+	return c.buckets[i][0], true
+}
+
+func (c *calendarQueue) Pop() (Item, bool) {
+	if c.size == 0 {
+		return Item{}, false
+	}
+	i, top := c.findMin()
+	b := c.buckets[i]
+	it := b[0]
+	copy(b, b[1:])
+	b[len(b)-1] = Item{}
+	c.buckets[i] = b[:len(b)-1]
+	c.size--
+	c.lastBucket = i
+	c.bucketTop = top
+	c.lastAt = it.At
+	if n := len(c.buckets); n > calendarMinBuckets && c.size < n/2 {
+		c.resize(n / 2)
+	}
+	return it, true
+}
+
+// resize redistributes every item across n buckets, re-estimating the
+// day width as the mean spacing of the queued times. The estimate is a
+// pure function of queue content, preserving determinism.
+func (c *calendarQueue) resize(n int) {
+	if n < calendarMinBuckets {
+		n = calendarMinBuckets
+	}
+	if n == len(c.buckets) {
+		return
+	}
+	old := c.buckets
+	var lo, hi Time
+	first := true
+	for _, b := range old {
+		for _, it := range b {
+			if first {
+				lo, hi = it.At, it.At
+				first = false
+				continue
+			}
+			if it.At < lo {
+				lo = it.At
+			}
+			if it.At > hi {
+				hi = it.At
+			}
+		}
+	}
+	width := Time(1)
+	if c.size > 1 {
+		if width = (hi - lo) / Time(c.size); width < 1 {
+			width = 1
+		}
+	}
+	c.setShape(n, width, c.lastAt)
+	c.size = 0
+	for _, b := range old {
+		for _, it := range b {
+			c.insert(it)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var queueKinds = []QueueKind{QueueHeap, QueueCalendar}
+
+func TestParseQueueKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want QueueKind
+		ok   bool
+	}{
+		{"", QueueHeap, true},
+		{"heap", QueueHeap, true},
+		{"calendar", QueueCalendar, true},
+		{"list", "", false},
+		{"HEAP", "", false},
+	} {
+		got, err := ParseQueueKind(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseQueueKind(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseQueueKind(%q) accepted", tc.in)
+		}
+	}
+}
+
+// TestQueueBackendsPopIdenticalOrder: any interleaving of pushes and
+// pops yields the exact same item sequence from every backend — the
+// property that makes backends swappable without changing a run.
+func TestQueueBackendsPopIdenticalOrder(t *testing.T) {
+	f := func(ops []uint32) bool {
+		qs := make([]Queue, len(queueKinds))
+		for i, k := range queueKinds {
+			qs[i] = NewQueue(k)
+		}
+		seq := uint64(0)
+		lastAt := Time(0)
+		var popped [][]Item
+		popped = make([][]Item, len(qs))
+		for _, op := range ops {
+			if op%4 == 0 && qs[0].Len() > 0 {
+				for i, q := range qs {
+					it, ok := q.Pop()
+					if !ok {
+						return false
+					}
+					popped[i] = append(popped[i], it)
+					lastAt = it.At
+				}
+				continue
+			}
+			seq++
+			// Times never precede the latest pop, mirroring the
+			// scheduler's clamp-to-now rule.
+			it := Item{At: lastAt + Time(op%977), Seq: seq, Ref: uint64(op)}
+			for _, q := range qs {
+				q.Push(it)
+			}
+		}
+		for qs[0].Len() > 0 {
+			for i, q := range qs {
+				it, ok := q.Pop()
+				if !ok {
+					return false
+				}
+				popped[i] = append(popped[i], it)
+			}
+		}
+		for i := 1; i < len(popped); i++ {
+			if len(popped[i]) != len(popped[0]) {
+				return false
+			}
+			for j := range popped[0] {
+				if popped[i][j] != popped[0][j] {
+					return false
+				}
+			}
+		}
+		// And the shared sequence must be itemLess-sorted.
+		for j := 1; j < len(popped[0]); j++ {
+			if itemLess(popped[0][j], popped[0][j-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCalendarFarFutureAndTies exercises the calendar queue's two slow
+// paths: a year-scan miss (every event more than a year of buckets
+// away) and many ties sharing one bucket.
+func TestCalendarFarFutureAndTies(t *testing.T) {
+	q := NewQueue(QueueCalendar)
+	q.Push(Item{At: 1 << 40, Seq: 1})
+	q.Push(Item{At: 1 << 50, Seq: 2})
+	if it, _ := q.Peek(); it.Seq != 1 {
+		t.Fatalf("far-future Peek = %+v, want Seq 1", it)
+	}
+	for s := uint64(3); s < 40; s++ {
+		q.Push(Item{At: 1 << 40, Seq: s})
+	}
+	wantSeqs := append([]uint64{1}, func() []uint64 {
+		var v []uint64
+		for s := uint64(3); s < 40; s++ {
+			v = append(v, s)
+		}
+		return v
+	}()...)
+	wantSeqs = append(wantSeqs, 2)
+	for i, want := range wantSeqs {
+		it, ok := q.Pop()
+		if !ok || it.Seq != want {
+			t.Fatalf("pop %d = %+v, ok=%v, want Seq %d", i, it, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty calendar succeeded")
+	}
+}
+
+// TestQueueLenPendingInvariant pins the drift fix: cancelled-but-
+// unpopped entries are visible in QueueLen but never in Pending, and a
+// compaction sweep bounds the gap once stale entries outnumber live
+// ones.
+func TestQueueLenPendingInvariant(t *testing.T) {
+	s := NewScheduler(1)
+	const n = 100
+	ids := make([]EventID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = s.Schedule(Time(i)*Millisecond, func() {})
+	}
+	if s.Pending() != n || s.QueueLen() != n {
+		t.Fatalf("after schedule: Pending=%d QueueLen=%d, want %d/%d", s.Pending(), s.QueueLen(), n, n)
+	}
+	// Cancel 40: stale (40) stays below live (60), so no sweep runs and
+	// the gap must be visible.
+	for i := 0; i < 40; i++ {
+		if !s.Cancel(ids[i]) {
+			t.Fatalf("Cancel(%d) failed", i)
+		}
+	}
+	if s.Pending() != 60 {
+		t.Fatalf("Pending = %d, want 60", s.Pending())
+	}
+	if s.QueueLen() != 100 {
+		t.Fatalf("QueueLen = %d, want 100 (stale entries not yet swept)", s.QueueLen())
+	}
+	// Cancel 25 more. The sweep fires at the 64th cancel (stale 64 >
+	// live 36, and at the compactMin floor), leaving the 65th as the
+	// only stale entry afterwards.
+	for i := 40; i < 65; i++ {
+		if !s.Cancel(ids[i]) {
+			t.Fatalf("Cancel(%d) failed", i)
+		}
+	}
+	if s.Pending() != 35 {
+		t.Fatalf("Pending = %d, want 35", s.Pending())
+	}
+	if s.QueueLen() != 36 {
+		t.Fatalf("QueueLen = %d, want 36 (compaction at 64th cancel + 1 stale)", s.QueueLen())
+	}
+	// The survivors still run, and both counters drain to zero.
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if s.Pending() != 0 || s.QueueLen() != 0 {
+		t.Fatalf("after drain: Pending=%d QueueLen=%d", s.Pending(), s.QueueLen())
+	}
+	if got := s.Processed(); got != 35 {
+		t.Fatalf("Processed = %d, want 35", got)
+	}
+}
+
+// TestCompactionPreservesOrder: a sweep in the middle of a workload
+// must not reorder survivors, on either backend.
+func TestCompactionPreservesOrder(t *testing.T) {
+	for _, kind := range queueKinds {
+		s := NewSchedulerQueue(9, kind)
+		const n = 300
+		var order []int
+		ids := make([]EventID, n)
+		for i := 0; i < n; i++ {
+			i := i
+			ids[i] = s.Schedule(Time(n-i)*Millisecond, func() { order = append(order, i) })
+		}
+		for i := 0; i < n; i += 2 { // cancel every even id → sweep triggers
+			s.Cancel(ids[i])
+		}
+		if err := s.RunAll(); err != nil {
+			t.Fatalf("[%s] RunAll: %v", kind, err)
+		}
+		if len(order) != n/2 {
+			t.Fatalf("[%s] ran %d, want %d", kind, len(order), n/2)
+		}
+		// Delay was (n-i) ms, so survivors (odd i) must run in
+		// descending-i order.
+		for j := 1; j < len(order); j++ {
+			if order[j] >= order[j-1] {
+				t.Fatalf("[%s] order[%d..] = %d,%d not descending", kind, j-1, order[j-1], order[j])
+			}
+		}
+	}
+}
+
+// TestCancelFiredAndReusedIDs pins the generation-stamp semantics: an
+// id goes dead the moment its event fires or is cancelled, and stays
+// dead even after its slot is recycled for newer events.
+func TestCancelFiredAndReusedIDs(t *testing.T) {
+	s := NewScheduler(1)
+
+	fired := s.Schedule(Millisecond, func() {})
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cancel(fired) {
+		t.Fatal("Cancel of already-fired id succeeded")
+	}
+
+	// The slot of `fired` is on the free list; this reuses it.
+	ranB := false
+	b := s.Schedule(Millisecond, func() { ranB = true })
+	if b == fired {
+		t.Fatal("reused slot issued an identical id (generation did not advance)")
+	}
+	if s.Cancel(fired) {
+		t.Fatal("stale id cancelled the slot's new tenant")
+	}
+
+	// Cancel-then-reuse: cancelling the old id again must not kill c.
+	if !s.Cancel(b) {
+		t.Fatal("Cancel(b) failed")
+	}
+	ranC := false
+	c := s.Schedule(Millisecond, func() { ranC = true })
+	if s.Cancel(b) {
+		t.Fatal("doubly-cancelled id reported success after slot reuse")
+	}
+	if s.Cancel(fired) {
+		t.Fatal("ancient id still live")
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ranB {
+		t.Fatal("cancelled event ran")
+	}
+	if !ranC {
+		t.Fatal("live event did not run")
+	}
+	_ = c
+
+	// The zero EventID (a Ticker's zero-value pending field) is never
+	// issued and never cancels anything.
+	if s.Cancel(0) {
+		t.Fatal("Cancel(0) succeeded")
+	}
+}
+
+// TestPropertyFIFOWithinTimestamp: events sharing a timestamp run in
+// schedule order, on every backend.
+func TestPropertyFIFOWithinTimestamp(t *testing.T) {
+	for _, kind := range queueKinds {
+		kind := kind
+		f := func(slots []uint8) bool {
+			s := NewSchedulerQueue(3, kind)
+			var got []int
+			for i, slot := range slots {
+				i := i
+				// Few distinct timestamps → many ties.
+				s.Schedule(Time(slot%5)*Second, func() { got = append(got, i) })
+			}
+			if err := s.RunAll(); err != nil {
+				return false
+			}
+			if len(got) != len(slots) {
+				return false
+			}
+			// Expected order: stable sort by timestamp = for equal
+			// timestamps, ascending schedule index.
+			seen := make(map[uint8][]int)
+			for _, i := range got {
+				b := slots[i] % 5
+				ns := seen[b]
+				if len(ns) > 0 && ns[len(ns)-1] > i {
+					return false
+				}
+				seen[b] = append(ns, i)
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("[%s] %v", kind, err)
+		}
+	}
+}
+
+// TestBackendsIdenticalRuns drives a randomized schedule/cancel/nested
+// workload on both backends and requires identical execution traces —
+// the in-package version of the cross-backend artifact test in
+// internal/core.
+func TestBackendsIdenticalRuns(t *testing.T) {
+	run := func(kind QueueKind) []Time {
+		s := NewSchedulerQueue(11, kind)
+		var trace []Time
+		var ids []EventID
+		var step func()
+		n := 0
+		step = func() {
+			trace = append(trace, s.Now())
+			n++
+			if n > 2000 {
+				return
+			}
+			r := s.RNG()
+			for i := 0; i < 1+r.Intn(3); i++ {
+				ids = append(ids, s.Schedule(Time(r.Intn(5000))*Microsecond, step))
+			}
+			if len(ids) > 0 && r.Intn(3) == 0 {
+				s.Cancel(ids[r.Intn(len(ids))])
+			}
+		}
+		s.Schedule(0, step)
+		if err := s.Run(3 * Second); err != nil {
+			t.Fatalf("[%s] Run: %v", kind, err)
+		}
+		return trace
+	}
+	heap := run(QueueHeap)
+	cal := run(QueueCalendar)
+	if len(heap) != len(cal) {
+		t.Fatalf("trace lengths differ: heap %d, calendar %d", len(heap), len(cal))
+	}
+	for i := range heap {
+		if heap[i] != cal[i] {
+			t.Fatalf("traces diverge at event %d: heap %v, calendar %v", i, heap[i], cal[i])
+		}
+	}
+}
+
+// nop is the benchmark callback: package-level so every Schedule call
+// passes the same function value and the benchmark measures the
+// kernel, not closure allocation.
+func nop() {}
+
+func BenchmarkSchedule(b *testing.B) {
+	for _, kind := range queueKinds {
+		b.Run(string(kind), func(b *testing.B) {
+			s := NewSchedulerQueue(1, kind)
+			rng := rand.New(rand.NewSource(2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Schedule(Time(rng.Intn(1000))*Microsecond, nop)
+			}
+		})
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	for _, kind := range queueKinds {
+		b.Run(string(kind), func(b *testing.B) {
+			s := NewSchedulerQueue(1, kind)
+			rng := rand.New(rand.NewSource(2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := s.Schedule(Time(rng.Intn(1000))*Microsecond, nop)
+				s.Cancel(id)
+			}
+		})
+	}
+}
+
+func BenchmarkRunDrain(b *testing.B) {
+	for _, kind := range queueKinds {
+		b.Run(string(kind), func(b *testing.B) {
+			s := NewSchedulerQueue(1, kind)
+			rng := rand.New(rand.NewSource(2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Schedule(Time(rng.Intn(1000))*Microsecond, nop)
+				if i%1024 == 1023 {
+					if err := s.RunAll(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := s.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

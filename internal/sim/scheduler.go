@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"math/rand"
 )
@@ -11,69 +10,85 @@ import (
 // reaching the configured horizon.
 var ErrStopped = errors.New("sim: simulation stopped")
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. An id
+// packs a slot index and a generation stamp; the zero EventID is never
+// issued, so a zero-valued id field is always safe to Cancel (a no-op).
 type EventID uint64
 
-// event is a single queue entry. seq breaks ties between events that are
-// scheduled for the same instant so that insertion order is preserved —
-// the same FIFO-within-timestamp guarantee NS-3's scheduler provides.
-type event struct {
-	at     Time
-	seq    uint64
-	id     EventID
-	fn     func()
-	src    string
-	cancel bool
+// slot holds one scheduled event's mutable state. Slots live in a
+// flat table and are recycled through a free list; the generation
+// stamp distinguishes the current tenant from stale queue entries and
+// stale EventIDs, which is what lets Cancel run in O(1) with no map.
+type slot struct {
+	fn   func()
+	src  string
+	gen  uint32
+	live bool
 }
 
-// eventQueue implements heap.Interface ordered by (time, seq).
-type eventQueue []*event
+func packRef(idx uint32, gen uint32) uint64 { return uint64(idx)<<32 | uint64(gen) }
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+func unpackRef(ref uint64) (idx uint32, gen uint32) {
+	return uint32(ref >> 32), uint32(ref)
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
+// compactMin is the minimum number of cancelled-but-unpopped queue
+// entries before a sweep is worthwhile; below it the stale entries are
+// cheaper to skip lazily at pop time than to compact eagerly.
+const compactMin = 64
 
 // Scheduler is the discrete-event engine. It is single-threaded and
 // deterministic: events execute in (time, insertion) order, and all
 // randomness flows through the seeded RNG it owns.
 //
-// The zero value is not usable; construct with NewScheduler.
+// The steady-state hot path is allocation-free: events are value
+// entries in a slice-backed queue, callbacks live in a recycled slot
+// table, and cancellation is a generation-stamp bump — no per-event
+// heap object, no live-event map.
+//
+// The zero value is not usable; construct with NewScheduler,
+// NewSchedulerQueue, or NewSchedulerWith.
 type Scheduler struct {
-	queue     eventQueue
+	q       Queue
+	slots   []slot
+	free    []uint32
+	scratch []Item // reused by compact
+
 	now       Time
 	seq       uint64
-	nextID    EventID
-	live      map[EventID]*event
+	pending   int // scheduled and not cancelled
+	stale     int // cancelled entries still inside q
 	rng       *rand.Rand
 	stopped   bool
 	processed uint64
 	hook      func(at Time, src string, pending int)
 }
 
-// NewScheduler returns a scheduler whose random source is seeded with
-// seed. Two schedulers built with the same seed drive identical runs.
+// NewScheduler returns a scheduler on the default heap backend whose
+// random source is seeded with seed. Two schedulers built with the
+// same seed drive identical runs.
 func NewScheduler(seed int64) *Scheduler {
+	return NewSchedulerQueue(seed, QueueHeap)
+}
+
+// NewSchedulerQueue is NewScheduler with an explicit queue backend.
+// An empty kind selects the heap. Backends are observationally
+// identical: the same seed yields the same run byte-for-byte on any
+// of them.
+func NewSchedulerQueue(seed int64, kind QueueKind) *Scheduler {
+	return NewSchedulerWith(seed, NewQueue(kind))
+}
+
+// NewSchedulerWith builds a scheduler around a caller-supplied Queue
+// implementation — the extension point for experimenting with new
+// backends without touching the kernel.
+func NewSchedulerWith(seed int64, q Queue) *Scheduler {
+	if q == nil {
+		panic("sim: NewSchedulerWith with nil queue")
+	}
 	return &Scheduler{
-		live: make(map[EventID]*event),
-		rng:  rand.New(rand.NewSource(seed)),
+		q:   q,
+		rng: rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -90,7 +105,15 @@ func (s *Scheduler) RNG() *rand.Rand { return s.rng }
 func (s *Scheduler) Processed() uint64 { return s.processed }
 
 // Pending reports how many events are queued and not cancelled.
-func (s *Scheduler) Pending() int { return len(s.live) }
+func (s *Scheduler) Pending() int { return s.pending }
+
+// QueueLen reports the number of entries physically inside the queue
+// backend, which may exceed Pending by the number of cancelled entries
+// not yet swept. The invariant QueueLen() == Pending()+stale is
+// bounded: a compaction sweep runs whenever stale entries outnumber
+// live ones (and exceed a small floor), so QueueLen never drifts past
+// roughly twice Pending.
+func (s *Scheduler) QueueLen() int { return s.q.Len() }
 
 // SetHook installs an observer invoked once per executed event with
 // the event's time, its source label, and the queue depth after the
@@ -131,23 +154,85 @@ func (s *Scheduler) ScheduleAtSrc(at Time, src string, fn func()) EventID {
 		at = s.now
 	}
 	s.seq++
-	s.nextID++
-	ev := &event{at: at, seq: s.seq, id: s.nextID, fn: fn, src: src}
-	heap.Push(&s.queue, ev)
-	s.live[ev.id] = ev
-	return ev.id
+	var idx uint32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{gen: 1})
+		idx = uint32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.fn, sl.src, sl.live = fn, src, true
+	s.pending++
+	ref := packRef(idx, sl.gen)
+	s.q.Push(Item{At: at, Seq: s.seq, Ref: ref})
+	return EventID(ref)
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already ran
-// (or was already cancelled) is a no-op and reports false.
+// (or was already cancelled) is a no-op and reports false — including
+// when the event's slot has since been recycled for a newer event: the
+// generation stamp in the id no longer matches, so the newer tenant is
+// untouched.
 func (s *Scheduler) Cancel(id EventID) bool {
-	ev, ok := s.live[id]
-	if !ok {
+	idx, gen := unpackRef(uint64(id))
+	if int(idx) >= len(s.slots) {
 		return false
 	}
-	ev.cancel = true
-	delete(s.live, id)
+	sl := &s.slots[idx]
+	if !sl.live || sl.gen != gen {
+		return false
+	}
+	s.releaseSlot(idx, sl)
+	s.pending--
+	s.stale++
+	if s.stale > s.pending && s.stale >= compactMin {
+		s.compact()
+	}
 	return true
+}
+
+// releaseSlot retires a slot's current tenant: the callback reference
+// is dropped (so the closure is collectable immediately), the
+// generation advances (invalidating outstanding ids and queue
+// entries), and the slot returns to the free list.
+func (s *Scheduler) releaseSlot(idx uint32, sl *slot) {
+	sl.fn, sl.src, sl.live = nil, "", false
+	sl.gen++
+	if sl.gen == 0 {
+		sl.gen = 1
+	}
+	s.free = append(s.free, idx)
+}
+
+// refLive reports whether a queue entry still refers to its slot's
+// current tenant.
+func (s *Scheduler) refLive(ref uint64) bool {
+	idx, gen := unpackRef(ref)
+	sl := &s.slots[idx]
+	return sl.live && sl.gen == gen
+}
+
+// compact sweeps cancelled entries out of the queue: everything is
+// drained (in order) into a scratch slice, live entries are re-pushed
+// with their original sequence numbers, so relative order — and
+// therefore the run — is unchanged.
+func (s *Scheduler) compact() {
+	s.scratch = s.scratch[:0]
+	for {
+		it, ok := s.q.Pop()
+		if !ok {
+			break
+		}
+		if s.refLive(it.Ref) {
+			s.scratch = append(s.scratch, it)
+		}
+	}
+	for _, it := range s.scratch {
+		s.q.Push(it)
+	}
+	s.stale = 0
 }
 
 // Stop halts the run loop after the currently-executing event returns.
@@ -176,25 +261,33 @@ func (s *Scheduler) RunAll() error {
 
 func (s *Scheduler) run(until Time) error {
 	s.stopped = false
-	for len(s.queue) > 0 {
+	for s.q.Len() > 0 {
 		if s.stopped {
 			return ErrStopped
 		}
-		ev := s.queue[0]
-		if ev.at > until {
-			break
-		}
-		heap.Pop(&s.queue)
-		if ev.cancel {
+		it, _ := s.q.Peek()
+		idx, gen := unpackRef(it.Ref)
+		sl := &s.slots[idx]
+		if !sl.live || sl.gen != gen {
+			// Cancelled entry surfacing at the top: discard lazily,
+			// regardless of horizon.
+			s.q.Pop()
+			s.stale--
 			continue
 		}
-		delete(s.live, ev.id)
-		s.now = ev.at
+		if it.At > until {
+			break
+		}
+		s.q.Pop()
+		fn, src := sl.fn, sl.src
+		s.releaseSlot(idx, sl)
+		s.pending--
+		s.now = it.At
 		s.processed++
 		if s.hook != nil {
-			s.hook(ev.at, ev.src, len(s.live))
+			s.hook(it.At, src, s.pending)
 		}
-		ev.fn()
+		fn()
 	}
 	return nil
 }
