@@ -10,6 +10,8 @@
 //	ddosim -devs 30 -timeline            # full kill-chain event log
 //	ddosim -devs 30 -trace run.trace.json   # open in Perfetto / chrome://tracing
 //	ddosim -devs 30 -metrics-out run.prom   # Prometheus-style counter dump
+//	ddosim -devs 30 -faults intensity=0.5   # canonical fault scenario, half strength
+//	ddosim -devs 30 -faults 'flap:period=60s,down=5s;crash:period=120s' -cnc-replay
 package main
 
 import (
@@ -54,6 +56,8 @@ func run() error {
 		traceOut  = flag.String("trace", "", "write the run trace to this file (Chrome trace_event JSON; a .jsonl extension selects JSONL)")
 		promOut   = flag.String("metrics-out", "", "write a Prometheus-style metrics dump to this file")
 		schedQ    = flag.String("sched-queue", "heap", "event-queue backend: heap|calendar (byte-identical results, speed only)")
+		faultSpec = flag.String("faults", "", "fault-injection spec: \"intensity=0.5\" or \"kind:key=val,...;...\" (kinds: flap|loss|degrade|crash|cnc|sink)")
+		cncReplay = flag.Bool("cnc-replay", false, "C&C replays the attack order (trimmed) to bots that register during the attack window")
 	)
 	flag.Parse()
 
@@ -92,6 +96,12 @@ func run() error {
 		return err
 	}
 	cfg.SchedQueue = kind
+	fc, err := ddosim.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = fc
+	cfg.CNCReplayAttack = *cncReplay
 
 	sim, err := ddosim.New(cfg)
 	if err != nil {

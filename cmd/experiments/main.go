@@ -1,13 +1,16 @@
 // Command experiments regenerates the paper's evaluation artifacts:
 // Figure 2 (received rate vs Devs × churn), Figure 3 (received rate
 // vs attack duration), Table I (resource usage), and Figure 4
-// (DDoSim vs the independent hardware model).
+// (DDoSim vs the independent hardware model) — plus two extensions:
+// recruit (infection rate vs attack vector and credential hygiene)
+// and resilience (botnet performance vs fault-injection intensity).
 //
 // Examples:
 //
 //	experiments -exp all
 //	experiments -exp fig2 -seeds 5
 //	experiments -exp fig4 -quick
+//	experiments -exp resilience -seeds 5
 //	experiments -exp all -csv results/
 //	experiments -exp fig2 -trace-dir traces/   # per-run Perfetto traces + metrics
 package main
@@ -32,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|table1|fig4|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|table1|fig4|recruit|resilience|all")
 		seeds    = flag.Int("seeds", 3, "number of seeds to average over")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		csvDir   = flag.String("csv", "", "directory to write CSV files into (optional)")
@@ -103,8 +106,19 @@ func run() error {
 			return err
 		}
 	}
+	if want("resilience") {
+		ran = true
+		rows, err := experiments.Resilience(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderResilience(rows))
+		if err := writeCSV(*csvDir, "resilience.csv", resilienceCSV(rows)); err != nil {
+			return err
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (fig2|fig3|table1|fig4|recruit|all)", *exp)
+		return fmt.Errorf("unknown experiment %q (fig2|fig3|table1|fig4|recruit|resilience|all)", *exp)
 	}
 	return nil
 }
@@ -156,6 +170,17 @@ func recruitCSV(rows []experiments.RecruitRow) string {
 	b.WriteString("vector,weak_cred_fraction,infection_rate,mean_recruit_s\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%s,%.2f,%.4f,%.1f\n", r.Vector, r.WeakCredFraction, r.InfectionRate, r.MeanRecruitSecs)
+	}
+	return b.String()
+}
+
+func resilienceCSV(rows []experiments.ResilienceRow) string {
+	var b strings.Builder
+	b.WriteString("intensity,d_received_kbps,infection_rate,mean_recruit_s,faults_per_run,loader_redials\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%.2f,%.2f,%.4f,%.1f,%.1f,%.1f\n",
+			r.Intensity, r.DReceivedKbps, r.InfectionRate, r.MeanRecruitSecs,
+			r.FaultEvents, r.LoaderRedials)
 	}
 	return b.String()
 }

@@ -31,6 +31,7 @@ package ddosim
 import (
 	"ddosim/internal/churn"
 	"ddosim/internal/core"
+	"ddosim/internal/faults"
 	"ddosim/internal/mirai"
 	"ddosim/internal/netsim"
 	"ddosim/internal/sim"
@@ -93,6 +94,15 @@ const (
 	MethodACK      = mirai.MethodACK
 )
 
+// FaultsConfig parameterizes the deterministic fault-injection
+// subsystem for Config.Faults: link flaps, loss bursts, rate/queue
+// degradation windows, process crashes, and C&C outages. The zero
+// value disables injection entirely.
+type FaultsConfig = faults.Config
+
+// FaultStats counts the faults a run injected; exposed on Results.
+type FaultStats = faults.Stats
+
 // RecruitVector selects how the attacker recruits Devs.
 type RecruitVector = core.RecruitVector
 
@@ -154,3 +164,12 @@ func ParseChurnMode(s string) (ChurnMode, error) { return churn.ParseMode(s) }
 // ParseQueueKind converts a CLI string (heap|calendar; empty means
 // heap) into a QueueKind.
 func ParseQueueKind(s string) (QueueKind, error) { return sim.ParseQueueKind(s) }
+
+// ParseFaultSpec converts a CLI fault specification — semicolon-
+// separated clauses like "flap:period=60s,down=5s;loss:rate=0.9" or
+// the shorthand "intensity=0.5" — into a FaultsConfig.
+func ParseFaultSpec(s string) (FaultsConfig, error) { return faults.ParseSpec(s) }
+
+// FaultsAtIntensity returns the canonical fault scenario scaled to
+// x ∈ [0, 1]; 0 disables injection.
+func FaultsAtIntensity(x float64) FaultsConfig { return faults.AtIntensity(x) }

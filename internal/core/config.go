@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ddosim/internal/churn"
+	"ddosim/internal/faults"
 	"ddosim/internal/mirai"
 	"ddosim/internal/netsim"
 	"ddosim/internal/sim"
@@ -141,6 +142,18 @@ type Config struct {
 	// attacker's sequential seed scanner plants before stopping.
 	SeedCount int
 
+	// Faults declares the fault-injection scenario (link flaps, loss
+	// bursts, degradation windows, process crashes, C&C and sink
+	// outages). The zero value injects nothing and leaves every
+	// artifact byte-identical to a build without the subsystem.
+	Faults faults.Config
+	// CNCReplayAttack makes the C&C re-send the last attack command
+	// (trimmed to the remaining window) to bots that register after
+	// the order went out — a robustness response to C&C outages.
+	// Default off: the published C&C never replays, which is what
+	// produces the paper's Fig. 2 churn gap.
+	CNCReplayAttack bool
+
 	// SchedQueue selects the event-queue backend (sim.QueueHeap or
 	// sim.QueueCalendar, mirroring NS-3's scheduler family). Empty
 	// selects the heap. Backends are observationally identical — the
@@ -213,6 +226,9 @@ func (c *Config) Validate() error {
 		// Scanners sweep 10.0.0.0/24; the paper's fleets stay within
 		// it (its hardware caps at 200 Devs too).
 		return fmt.Errorf("core: credentials vector supports at most 200 Devs, got %d", c.NumDevs)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	minimum := c.RecruitTimeout + sim.Time(c.AttackDuration)*sim.Second
 	if c.SimDuration < minimum {

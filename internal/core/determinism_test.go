@@ -2,10 +2,13 @@ package core_test
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"testing"
 
 	"ddosim/internal/churn"
 	"ddosim/internal/core"
+	"ddosim/internal/faults"
 	"ddosim/internal/report"
 	"ddosim/internal/sim"
 )
@@ -20,6 +23,10 @@ func runOnce(t *testing.T, seed int64) (reportJSON, traceJSONL, chromeTrace []by
 }
 
 func runOnceQueue(t *testing.T, seed int64, queue sim.QueueKind) (reportJSON, traceJSONL, chromeTrace []byte) {
+	return runOnceFaults(t, seed, queue, faults.Config{})
+}
+
+func runOnceFaults(t *testing.T, seed int64, queue sim.QueueKind, fc faults.Config) (reportJSON, traceJSONL, chromeTrace []byte) {
 	t.Helper()
 	cfg := core.DefaultConfig(10)
 	cfg.Seed = seed
@@ -28,6 +35,7 @@ func runOnceQueue(t *testing.T, seed int64, queue sim.QueueKind) (reportJSON, tr
 	cfg.SimDuration = 300 * sim.Second
 	cfg.AttackDuration = 30
 	cfg.RecruitTimeout = 90 * sim.Second
+	cfg.Faults = fc
 	s, err := core.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -100,6 +108,64 @@ func TestQueueBackendsByteIdenticalArtifacts(t *testing.T) {
 	}
 	if !bytes.Equal(chromeH, chromeC) {
 		t.Errorf("heap vs calendar Chrome traces differ:\n%s", firstDiff(chromeH, chromeC))
+	}
+}
+
+// TestFaultFreeArtifactsMatchPrePRGolden pins the zero-cost guarantee
+// of the fault-injection subsystem: with a zero Faults config, every
+// artifact of the runOnce scenario is byte-identical to what the tree
+// produced before the subsystem existed. The hashes were captured by
+// running this exact scenario at the commit preceding internal/faults.
+// If an intentional change elsewhere moves these bytes, re-capture the
+// hashes — but a diff caused by a faults-related change means the
+// zero-value path is no longer free.
+func TestFaultFreeArtifactsMatchPrePRGolden(t *testing.T) {
+	const (
+		goldenReport = "7a9bc32e46e56c536be942833f31c760381f6c961d1ac9e2838bddb78c7caa85"
+		goldenJSONL  = "c48e361015aa42a6d660c98db52acabe5c8197b653b36b56a284efb89a27f137"
+		goldenChrome = "04bd4924e3c9b012bfdbd808db6d9d555c557d6a669f4c5c7246194abab0a219"
+	)
+	hash := func(b []byte) string {
+		sum := sha256.Sum256(b)
+		return hex.EncodeToString(sum[:])
+	}
+	rep, jsonl, chrome := runOnce(t, 1234)
+	if got := hash(rep); got != goldenReport {
+		t.Errorf("report JSON hash = %s, want %s", got, goldenReport)
+	}
+	if got := hash(jsonl); got != goldenJSONL {
+		t.Errorf("trace JSONL hash = %s, want %s", got, goldenJSONL)
+	}
+	if got := hash(chrome); got != goldenChrome {
+		t.Errorf("Chrome trace hash = %s, want %s", got, goldenChrome)
+	}
+}
+
+// TestFaultScenarioByteIdenticalArtifacts extends the determinism
+// contract to active fault injection: the injector draws from its own
+// seeded stream, so two same-seed runs of a harsh scenario must still
+// serialize byte-identically — and the scenario must actually inject.
+func TestFaultScenarioByteIdenticalArtifacts(t *testing.T) {
+	fc := faults.AtIntensity(0.8)
+	rep1, jsonl1, chrome1 := runOnceFaults(t, 1234, "", fc)
+	rep2, jsonl2, chrome2 := runOnceFaults(t, 1234, "", fc)
+
+	if !bytes.Equal(rep1, rep2) {
+		t.Errorf("same-seed fault runs produced different report JSON:\n%s", firstDiff(rep1, rep2))
+	}
+	if !bytes.Equal(jsonl1, jsonl2) {
+		t.Errorf("same-seed fault runs produced different trace JSONL:\n%s", firstDiff(jsonl1, jsonl2))
+	}
+	if !bytes.Equal(chrome1, chrome2) {
+		t.Errorf("same-seed fault runs produced different Chrome traces:\n%s", firstDiff(chrome1, chrome2))
+	}
+	if !bytes.Contains(rep1, []byte(`"faults"`)) {
+		t.Error("fault scenario left no stats in the report")
+	}
+	// The scenario must perturb the run relative to fault-free.
+	repFree, _, _ := runOnce(t, 1234)
+	if bytes.Equal(rep1, repFree) {
+		t.Error("intensity-0.8 scenario changed nothing")
 	}
 }
 

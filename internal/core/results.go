@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ddosim/internal/faults"
 	"ddosim/internal/metrics"
 	"ddosim/internal/netsim"
 	"ddosim/internal/obs"
@@ -79,6 +80,10 @@ type Results struct {
 	// Timeline is the full event log.
 	Timeline *metrics.Timeline
 
+	// Faults counts injected faults; nil when the run declared no
+	// fault scenario.
+	Faults *faults.Stats
+
 	// Obs condenses the run's observability data (trace volume,
 	// scheduler load breakdown, wall-clock profile).
 	Obs obs.Summary
@@ -104,6 +109,12 @@ func (r *Results) Summary() string {
 	fmt.Fprintf(&b, "D_received:         %.1f kbps\n", r.DReceivedKbps)
 	fmt.Fprintf(&b, "attack volume:      %d bytes from %d sources\n", r.SinkBytes, r.DistinctSources)
 	fmt.Fprintf(&b, "churn:              -%d/+%d\n", r.ChurnDepartures, r.ChurnRejoins)
+	if r.Faults != nil {
+		fmt.Fprintf(&b, "faults injected:    %d (flaps %d, bursts %d, degrades %d, crashes %d+%d cnc, outages %d cnc/%d sink; restarts %d)\n",
+			r.Faults.Total(), r.Faults.LinkFlaps, r.Faults.LossBursts, r.Faults.DegradeWindows,
+			r.Faults.ProcCrashes, r.Faults.CNCCrashes, r.Faults.CNCOutages, r.Faults.SinkOutages,
+			r.Faults.ProcRestarts)
+	}
 	fmt.Fprintf(&b, "est. pre-attack mem: %.2f GB, attack mem: %.2f GB, attack time: %s\n",
 		r.Usage.PreAttackMemGB, r.Usage.AttackMemGB, r.Usage.AttackTimeMMSS())
 	fmt.Fprintf(&b, "observability:      %d spans, %d trace events, %d kernel events (peak pending %d)\n",

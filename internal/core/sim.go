@@ -13,6 +13,7 @@ import (
 	"ddosim/internal/churn"
 	"ddosim/internal/container"
 	"ddosim/internal/exploit"
+	"ddosim/internal/faults"
 	"ddosim/internal/metrics"
 	"ddosim/internal/mirai"
 	"ddosim/internal/netsim"
@@ -30,6 +31,11 @@ type Dev struct {
 	prot      procvm.Protections
 	rate      netsim.DataRate
 	container *container.Container
+
+	// respawn is the supervisor hook fault injection uses to bring the
+	// Dev's service daemon back after a crash. It reports false (and
+	// does nothing) when the daemon is still (or already) running.
+	respawn func() bool
 }
 
 // Name implements churn.Device.
@@ -66,6 +72,7 @@ type Simulation struct {
 	sink     *netsim.Sink
 	devs     []*Dev
 	churnCtl *churn.Controller
+	faults   *faults.Injector
 	timeline *metrics.Timeline
 	obs      *obs.Obs
 
@@ -138,8 +145,92 @@ func New(cfg Config) (*Simulation, error) {
 		}
 		s.timeline.Record(at, kind, dev.Name())
 	}
+	if err := s.setupFaults(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
+
+// setupFaults builds the fault injector when the config declares a
+// scenario. A zero Faults config builds nothing at all, so fault-free
+// runs stay byte-identical to builds without the subsystem.
+func (s *Simulation) setupFaults() error {
+	if !s.cfg.Faults.Enabled() {
+		return nil
+	}
+	inj, err := faults.New(s.sched, s.cfg.Faults, s.cfg.Seed, s.obs)
+	if err != nil {
+		return err
+	}
+	inj.OnEvent = func(kind, actor string) {
+		s.timeline.Record(s.sched.Now(), kind, actor)
+	}
+	for _, dev := range s.devs {
+		dev := dev
+		inj.AddLink(dev.name, dev.container.Node().DefaultDevice())
+		inj.AddProcTarget(faults.ProcTarget{
+			Name: dev.name,
+			Crash: func(rng *rand.Rand) (string, bool) {
+				procs := dev.container.Procs()
+				if len(procs) == 0 {
+					return "", false
+				}
+				p := procs[rng.Intn(len(procs))]
+				what := p.Title()
+				if p.Tag("malware") != "" {
+					// A crashed bot stays dead until the botnet itself
+					// re-recruits the device: the loader forgets the
+					// victim so a scanner re-report can re-infect it.
+					// That recovery loop is what the resilience
+					// experiment measures.
+					what = "bot"
+					if s.loader != nil {
+						s.loader.Forget(dev.container.Node().Addr4())
+					}
+				}
+				dev.container.Kill(p.PID())
+				return what, true
+			},
+			Restart: func(string) bool {
+				return dev.respawn != nil && dev.respawn()
+			},
+		})
+	}
+	atkC := s.attacker.Container
+	inj.SetCNC("attacker", atkC.Node().DefaultDevice(), faults.ProcTarget{
+		Name: "attacker",
+		Crash: func(*rand.Rand) (string, bool) {
+			p := atkC.FindByTCPPort(mirai.CNCPort)
+			if p == nil {
+				return "", false
+			}
+			atkC.Kill(p.PID())
+			return "cnc", true
+		},
+		Restart: func(string) bool {
+			if atkC.FindByTCPPort(mirai.CNCPort) != nil {
+				return false
+			}
+			// Re-exec the C&C binary; the attacker's factory rebinds
+			// s.attacker.CNC to the fresh instance.
+			_, err := atkC.ExecFile("/usr/bin/cnc", nil)
+			return err == nil
+		},
+	})
+	inj.SetSink(func(down bool) {
+		if down {
+			s.sink.Suspend()
+		} else {
+			s.sink.Resume()
+		}
+	})
+	s.faults = inj
+	return nil
+}
+
+// Faults exposes the fault injector (nil when the config declares no
+// scenario).
+func (s *Simulation) Faults() *faults.Injector { return s.faults }
 
 // Sched exposes the scheduler (examples drive extra behaviours with
 // it).
@@ -199,6 +290,7 @@ func (s *Simulation) deployAttacker() error {
 			},
 		},
 		CNC: mirai.CNCConfig{
+			ReplayAttackCommand: s.cfg.CNCReplayAttack,
 			OnBotRegistered: func(addr netip.Addr, arch string) {
 				if !s.registeredEver[addr] {
 					s.registeredEver[addr] = true
@@ -319,6 +411,13 @@ func (s *Simulation) deployTelnetDevs() error {
 			return fmt.Errorf("core: dev %s: %w", name, err)
 		}
 		c.Spawn(telnetd.New(telnetd.Config{Cred: cred}))
+		dev.respawn = func() bool {
+			if c.FindByTCPPort(23) != nil {
+				return false
+			}
+			c.Spawn(telnetd.New(telnetd.Config{Cred: cred}))
+			return true
+		}
 	}
 	return nil
 }
@@ -391,21 +490,43 @@ func (s *Simulation) deployVulnDaemonDevs() error {
 			// server.
 			c.FS().Write("/etc/resolv.conf",
 				[]byte("nameserver "+s.attacker.Container.Node().Addr4().String()+"\n"))
-			c.Spawn(connman.New(connman.Config{
-				Protections: prot,
-				QueryPeriod: s.cfg.ConnmanQueryPeriod,
-				Program:     connmanProg,
-				OnOutcome:   outcome,
-			}))
+			spawn := func() {
+				c.Spawn(connman.New(connman.Config{
+					Protections: prot,
+					QueryPeriod: s.cfg.ConnmanQueryPeriod,
+					Program:     connmanProg,
+					OnOutcome:   outcome,
+				}))
+			}
+			spawn()
+			dev.respawn = daemonRespawn(c, imagecat.BinConnman, spawn)
 		case BinaryDnsmasq:
-			c.Spawn(dnsmasq.New(dnsmasq.Config{
-				Protections: prot,
-				Program:     dnsmasqProg,
-				OnOutcome:   outcome,
-			}))
+			spawn := func() {
+				c.Spawn(dnsmasq.New(dnsmasq.Config{
+					Protections: prot,
+					Program:     dnsmasqProg,
+					OnOutcome:   outcome,
+				}))
+			}
+			spawn()
+			dev.respawn = daemonRespawn(c, imagecat.BinDnsmasq, spawn)
 		}
 	}
 	return nil
+}
+
+// daemonRespawn builds a supervisor hook that respawns a Dev's service
+// daemon unless a live process with its title is still around.
+func daemonRespawn(c *container.Container, title string, spawn func()) func() bool {
+	return func() bool {
+		for _, p := range c.Procs() {
+			if p.Title() == title {
+				return false
+			}
+		}
+		spawn()
+		return true
+	}
 }
 
 func (s *Simulation) outcomeHook(dev *Dev) func(procvm.HijackOutcome) {
@@ -467,8 +588,12 @@ func (s *Simulation) Run() (*Results, error) {
 	s.results.DevsTotal = s.cfg.NumDevs
 	s.results.AttackIssuedAt = -1
 
-	// Churn applies from the outset (§IV-A).
+	// Churn applies from the outset (§IV-A); the fault scenario, when
+	// declared, runs alongside it.
 	s.churnCtl.Start()
+	if s.faults != nil {
+		s.faults.Start()
+	}
 
 	s.recruitSpan = s.obs.Trace.BeginSpan(s.sched.Now(), obs.CatPhase, "recruitment")
 
@@ -495,6 +620,9 @@ func (s *Simulation) Run() (*Results, error) {
 	}
 	watcher.Stop()
 	s.churnCtl.Stop()
+	if s.faults != nil {
+		s.faults.Stop()
+	}
 
 	if s.attackIssued && !s.postTaken {
 		s.postSnap = s.snapshot()
@@ -556,6 +684,10 @@ func (s *Simulation) assemble() {
 	r.SinkBytes = s.sink.Series().TotalBytes()
 	r.DistinctSources = s.sink.DistinctSources()
 	r.Timeline = s.timeline
+	if s.faults != nil {
+		st := s.faults.Stats()
+		r.Faults = &st
+	}
 
 	// Seal the observability layer: close dangling phase spans, mirror
 	// the kernel counters into the registry, and condense a summary.

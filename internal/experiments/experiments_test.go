@@ -143,3 +143,46 @@ func TestFig4QuickAgreement(t *testing.T) {
 		t.Fatal("empty render")
 	}
 }
+
+func TestResilienceQuick(t *testing.T) {
+	rows, err := Resilience(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Intensity != 0 || rows[2].Intensity != 1 {
+		t.Fatalf("intensity endpoints = %v, %v", rows[0].Intensity, rows[2].Intensity)
+	}
+	// Intensity 0 must be a genuinely fault-free run.
+	if rows[0].FaultEvents != 0 {
+		t.Fatalf("faults injected at intensity 0: %v", rows[0].FaultEvents)
+	}
+	if rows[2].FaultEvents == 0 {
+		t.Fatal("no faults injected at intensity 1")
+	}
+	// The attack degrades under faults…
+	if rows[0].DReceivedKbps <= 0 {
+		t.Fatalf("fault-free D_received = %v", rows[0].DReceivedKbps)
+	}
+	if rows[2].DReceivedKbps >= rows[0].DReceivedKbps {
+		t.Fatalf("D_received did not degrade: %v (x=1) vs %v (x=0)",
+			rows[2].DReceivedKbps, rows[0].DReceivedKbps)
+	}
+	// …while recruitment holds up, recovered by the loader's backoff
+	// re-dials (which faults force into action).
+	if rows[0].InfectionRate != 1.0 {
+		t.Fatalf("fault-free infection rate = %v", rows[0].InfectionRate)
+	}
+	if rows[2].InfectionRate < 0.5 {
+		t.Fatalf("infection rate collapsed under faults: %v", rows[2].InfectionRate)
+	}
+	if rows[2].LoaderRedials == 0 {
+		t.Fatal("harsh scenario never exercised the loader's re-dial path")
+	}
+	out := RenderResilience(rows)
+	if !strings.Contains(out, "intensity") || !strings.Contains(out, "loader redials") {
+		t.Fatalf("render = %q", out)
+	}
+}

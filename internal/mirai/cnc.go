@@ -31,6 +31,13 @@ type CNCConfig struct {
 	// Defaults to 180 s (three missed 60 s pings, as in the published
 	// source).
 	BotTimeout sim.Time
+	// ReplayAttackCommand, when set, re-sends the most recent attack
+	// command — trimmed to its remaining duration — to any bot that
+	// registers while the commanded window is still open, so a Dev
+	// rejoining after an outage still participates. Off by default:
+	// the published C&C never replays, which is what produces the
+	// paper's Fig. 2 churn gap (pinned by a test).
+	ReplayAttackCommand bool
 	// Obs, when set, records registrations, losses, and attack
 	// commands as trace events and metrics.
 	Obs *obs.Obs
@@ -57,6 +64,11 @@ type CNC struct {
 	AttacksIssued   int
 	AdminSessions   int
 	TotalRegistered int
+	CommandReplays  int
+
+	lastCmd   AttackCommand
+	lastCmdAt sim.Time
+	haveCmd   bool
 
 	trace         *obs.Tracer
 	ctrRegistered *obs.Counter
@@ -158,6 +170,9 @@ func (c *CNC) Bots() []BotRecord {
 // reports how many were ordered. This is the programmatic equivalent
 // of typing the command into the telnet admin session.
 func (c *CNC) LaunchAttack(cmd AttackCommand) int {
+	c.lastCmd = cmd
+	c.lastCmdAt = c.p.Sched().Now()
+	c.haveCmd = true
 	wire := []byte(cmd.Encode())
 	n := 0
 	for _, conn := range c.sortedConns() {
@@ -237,6 +252,7 @@ func (c *CNC) serveBot(conn *netsim.TCPConn, rest []byte) {
 				if c.cfg.OnBotRegistered != nil {
 					c.cfg.OnBotRegistered(rec.Addr, rec.Arch)
 				}
+				c.maybeReplay(conn, rec)
 			case line == "ping":
 				if rec, ok := c.bots[conn]; ok {
 					rec.LastSeen = c.p.Sched().Now()
@@ -260,6 +276,29 @@ func (c *CNC) serveBot(conn *netsim.TCPConn, rest []byte) {
 	if len(rest) > 0 {
 		handle(lb.feed(rest))
 	}
+}
+
+// maybeReplay re-sends the last attack command to a freshly registered
+// bot when replay is enabled and the commanded window is still open.
+// The duration is trimmed so the rejoiner stops with everyone else.
+func (c *CNC) maybeReplay(conn *netsim.TCPConn, rec *BotRecord) {
+	if !c.cfg.ReplayAttackCommand || !c.haveCmd {
+		return
+	}
+	now := c.p.Sched().Now()
+	until := c.lastCmdAt + sim.Time(c.lastCmd.Duration)*sim.Second
+	if now >= until {
+		return
+	}
+	cmd := c.lastCmd
+	cmd.Duration = int((until - now + sim.Second - 1) / sim.Second)
+	if err := conn.Send([]byte(cmd.Encode())); err != nil {
+		return
+	}
+	c.CommandReplays++
+	c.trace.Event(now, obs.CatCNC, "attack-replay",
+		obs.KV{K: "addr", V: rec.Addr.String()},
+		obs.KV{K: "remaining_s", V: fmt.Sprint(cmd.Duration)})
 }
 
 // --- Telnet admin side ---

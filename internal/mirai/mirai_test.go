@@ -325,6 +325,59 @@ func TestOfflineBotMissesAttackCommand(t *testing.T) {
 	}
 }
 
+func TestReplayDeliversTrimmedCommandToLateBot(t *testing.T) {
+	// The opt-in robustness knob: with ReplayAttackCommand on, a bot
+	// that re-registers while the attack window is still open gets the
+	// command re-sent with the duration trimmed to the remaining time.
+	// (The default-off behaviour — the paper's Fig. 2 churn gap — is
+	// pinned by TestOfflineBotMissesAttackCommand above.)
+	r := newRig(t)
+	attacker, cnc := r.spawnCNC(t, CNCConfig{ReplayAttackCommand: true})
+	tserver := r.star.AttachHost("tserver", 100*netsim.Mbps, sim.Millisecond, 0)
+	sink, err := netsim.InstallSink(tserver, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, bot := r.spawnBot(t, "dev-1", BotConfig{
+		CNC:        netip.AddrPortFrom(attacker.Node().Addr4(), CNCPort),
+		PingPeriod: 2 * sim.Second,
+	}, 500*netsim.Kbps)
+	if err := r.sched.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	victim.Node().DefaultDevice().SetUp(false)
+	if err := r.sched.Run(sim.Minute); err != nil { // connection dies
+		t.Fatal(err)
+	}
+	cnc.LaunchAttack(AttackCommand{Method: MethodUDPPlain, Target: tserver.Addr4(), Port: 80, Duration: 120})
+	victim.Node().DefaultDevice().SetUp(true)
+	if err := r.sched.Run(10 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if bot.CommandsSeen == 0 {
+		t.Fatal("late bot never received the replayed command")
+	}
+	if cnc.CommandReplays == 0 {
+		t.Fatal("CNC recorded no replays")
+	}
+	if sink.RxPackets() == 0 {
+		t.Fatal("late bot never attacked")
+	}
+	// The replay is trimmed: the bot rejoined well into the 120 s
+	// window, so its flood cannot have run the full duration.
+	if got := sink.Series().KbpsSeries(0, 65+125); len(got) != 0 {
+		secs := 0
+		for _, v := range got {
+			if v > 0 {
+				secs++
+			}
+		}
+		if secs >= 120 {
+			t.Fatalf("flood ran %d s, want < 120 (trimmed replay)", secs)
+		}
+	}
+}
+
 func TestTelnetAdminSession(t *testing.T) {
 	r := newRig(t)
 	attacker, cnc := r.spawnCNC(t, CNCConfig{User: "researcher", Pass: "hunter2"})

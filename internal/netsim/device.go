@@ -97,6 +97,18 @@ func (d *NetDevice) Rate() DataRate { return d.rate }
 // next dequeued frame.
 func (d *NetDevice) SetRate(r DataRate) { d.rate = r }
 
+// QueueLimit reports the drop-tail egress queue depth.
+func (d *NetDevice) QueueLimit() int { return d.queueLimit }
+
+// SetQueueLimit changes the drop-tail depth. Takes effect for the next
+// enqueue; frames already queued above the new limit are not evicted.
+func (d *NetDevice) SetQueueLimit(n int) {
+	if n <= 0 {
+		n = DefaultQueueLimit
+	}
+	d.queueLimit = n
+}
+
 // Stats returns a copy of the device counters.
 func (d *NetDevice) Stats() DeviceStats {
 	st := d.stats
@@ -199,10 +211,14 @@ func (d *NetDevice) arriveProp() {
 
 // SetLossRate makes the device drop each received frame independently
 // with probability p — modeling degraded link quality (the q(h) of the
-// churn model, §IV-A) below the threshold of full departure.
+// churn model, §IV-A) below the threshold of full departure. The
+// closed interval [0,1] is accepted: p = 1 models a fully dead receive
+// path (every frame drops, since Float64 draws land in [0,1)) without
+// tearing the link down the way SetUp(false) would, and without
+// perturbing the per-frame RNG draw sequence for any p < 1.
 func (d *NetDevice) SetLossRate(p float64) {
-	if p < 0 || p >= 1 {
-		panic("netsim: loss rate must be in [0,1)")
+	if p < 0 || p > 1 {
+		panic("netsim: loss rate must be in [0,1]")
 	}
 	d.lossRate = p
 }

@@ -19,6 +19,9 @@ type Sink struct {
 	rxPackets uint64
 	bySource  map[netip.Addr]uint64
 	byProto   map[Protocol]uint64
+
+	suspended bool
+	missed    uint64
 }
 
 // InstallSink attaches a sink application to node. It additionally
@@ -42,6 +45,10 @@ func InstallSink(node *Node, port uint16) (*Sink, error) {
 }
 
 func (s *Sink) onPacket(at sim.Time, pkt *Packet) {
+	if s.suspended {
+		s.missed++
+		return
+	}
 	// Eq. 2 counts "the total size of the packets received": the full
 	// on-wire frame, which is also what Wireshark reports in the
 	// hardware validation — and what makes header-only SYN/ACK floods
@@ -52,6 +59,21 @@ func (s *Sink) onPacket(at sim.Time, pkt *Packet) {
 	s.byProto[pkt.Proto] += uint64(n)
 	s.series.Add(at, n)
 }
+
+// Suspend models a crash of the measurement application: the UDP port
+// stays bound (floods are still consumed, not refused) but nothing is
+// logged until Resume. Fault injection uses this to study measurement
+// outages separately from link outages.
+func (s *Sink) Suspend() { s.suspended = true }
+
+// Resume restarts logging after a Suspend.
+func (s *Sink) Resume() { s.suspended = false }
+
+// Suspended reports whether the sink is currently down.
+func (s *Sink) Suspended() bool { return s.suspended }
+
+// MissedPackets reports how many packets arrived while suspended.
+func (s *Sink) MissedPackets() uint64 { return s.missed }
 
 // Node reports the node the sink is installed on.
 func (s *Sink) Node() *Node { return s.node }

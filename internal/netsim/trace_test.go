@@ -203,15 +203,51 @@ func TestTCPSurvivesLossyLink(t *testing.T) {
 	}
 }
 
+func TestLossRateOneDropsEveryFrame(t *testing.T) {
+	// p = 1.0 is a dead receive path: every frame drops, and because
+	// Float64 draws from [0,1) the device still burns exactly one RNG
+	// draw per frame — the sequence seen by every p < 1 consumer is
+	// unchanged.
+	sched, _, star := newStar(t, 3)
+	a := star.AttachHost("a", 100*Mbps, sim.Millisecond, 0)
+	b := star.AttachHost("b", 100*Mbps, sim.Millisecond, 0)
+	b.DefaultDevice().SetLossRate(1.0)
+	got := 0
+	if _, err := b.BindUDP(9, func(netip.AddrPort, []byte, int) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	sock, _ := a.BindUDP(0, nil)
+	const n = 200
+	dst := netip.AddrPortFrom(b.Addr4(), 9)
+	for i := 0; i < n; i++ {
+		sched.ScheduleAt(sim.Time(i)*sim.Millisecond, func() {
+			sock.SendPadded(dst, nil, 100)
+		})
+	}
+	if err := sched.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("%d frames delivered at loss 1.0", got)
+	}
+	if drops := b.DefaultDevice().Stats().LossDrops; drops != n {
+		t.Fatalf("LossDrops = %d, want %d (one draw per frame)", drops, n)
+	}
+}
+
 func TestSetLossRateValidation(t *testing.T) {
 	_, _, star := newStar(t, 3)
 	a := star.AttachHost("a", Mbps, 0, 0)
+	// The closed interval [0,1] is legal: 1.0 models a dead receive
+	// path (fault injection's worst-case loss burst).
+	a.DefaultDevice().SetLossRate(1.0)
+	a.DefaultDevice().SetLossRate(0)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("loss rate 1.0 accepted")
+			t.Fatal("loss rate 1.5 accepted")
 		}
 	}()
-	a.DefaultDevice().SetLossRate(1.0)
+	a.DefaultDevice().SetLossRate(1.5)
 }
 
 func TestCaptureRingWrapsRepeatedly(t *testing.T) {

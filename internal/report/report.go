@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"ddosim/internal/core"
+	"ddosim/internal/faults"
 	"ddosim/internal/metrics"
 	"ddosim/internal/obs"
 	"ddosim/internal/sim"
@@ -56,6 +57,11 @@ type Run struct {
 	AttackMemGB    float64 `json:"attack_mem_gb"`
 	AttackTimeSecs float64 `json:"attack_time_s"`
 
+	// Faults counts injected faults; omitted for fault-free runs so
+	// their reports stay byte-identical to builds without the
+	// subsystem.
+	Faults *faults.Stats `json:"faults,omitempty"`
+
 	// Series and events.
 	PerSecondKbps []float64 `json:"per_second_kbps,omitempty"`
 	Timeline      []Event   `json:"timeline,omitempty"`
@@ -93,6 +99,7 @@ func FromResults(cfg core.Config, r *core.Results, includeDetail bool) Run {
 		PreAttackMemGB:  r.Usage.PreAttackMemGB,
 		AttackMemGB:     r.Usage.AttackMemGB,
 		AttackTimeSecs:  r.Usage.AttackTimeSecs,
+		Faults:          r.Faults,
 		Obs:             r.Obs,
 	}
 	if includeDetail {
