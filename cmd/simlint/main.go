@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	go run ./cmd/simlint [-json] [-list] [pattern ...]
+//	go run ./cmd/simlint [-json] [-list] [-analyzer a,b] [pattern ...]
 //
 // Patterns follow go-tool shape: "./..." (the default) lints every
 // package in the module, "./internal/netsim/..." a subtree, and
-// "./internal/netsim" a single package. Diagnostics print as
-// "file:line:col analyzer: message" with paths relative to the module
-// root; -json emits the same findings as a JSON array. The exit
-// status is 0 when clean, 1 when findings exist, and 2 on load or
-// usage errors — so CI can gate merges on it.
+// "./internal/netsim" a single package. -analyzer restricts the run
+// to a comma-separated subset of the suite (see -list for names).
+// Diagnostics print as "file:line:col analyzer: message" with paths
+// relative to the module root, in a stable total order —
+// (file, line, col, analyzer, message) — in both text and -json
+// output, so CI logs and golden files diff cleanly run over run. The
+// exit status is 0 when clean, 1 when findings exist, and 2 on load
+// or usage errors — so CI can gate merges on it.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"ddosim/internal/lint"
@@ -32,6 +36,19 @@ func main() {
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	analyzer := flag.String("analyzer", "", "comma-separated analyzer names to run (default: the whole suite)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: simlint [-json] [-list] [-analyzer a,b] [pattern ...]\n\n"+
+				"Lints the packages matched by the go-tool-style patterns (default ./...)\n"+
+				"with DDoSim's simulation-safety suite. Diagnostics are ordered by\n"+
+				"(file, line, col, analyzer, message) in both text and -json output.\n\n"+
+				"Exit codes:\n"+
+				"  0  no findings\n"+
+				"  1  findings reported\n"+
+				"  2  load or usage error\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	suite := lint.DefaultSuite()
@@ -40,6 +57,14 @@ func run() int {
 			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
 		}
 		return 0
+	}
+	if *analyzer != "" {
+		selected, err := selectAnalyzers(suite, *analyzer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		suite = selected
 	}
 
 	cwd, err := os.Getwd()
@@ -85,6 +110,39 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers filters the suite down to the named analyzers,
+// keeping suite order (which keeps paired analyzers on their shared
+// engine together when both are named).
+func selectAnalyzers(suite []lint.Analyzer, names string) ([]lint.Analyzer, error) {
+	want := make(map[string]bool)
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		want[n] = true
+	}
+	var out []lint.Analyzer
+	for _, a := range suite {
+		if want[a.Name()] {
+			out = append(out, a)
+			delete(want, a.Name())
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown analyzer(s) %s (see -list)", strings.Join(unknown, ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-analyzer selected nothing")
+	}
+	return out, nil
 }
 
 // load resolves one command-line pattern to packages. Relative

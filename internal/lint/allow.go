@@ -8,14 +8,17 @@ import (
 // Allow-annotation grammar:
 //
 //	//simlint:allow analyzer(reason)
+//	//simlint:allow analyzer1,analyzer2(reason)
 //
-// The annotation suppresses findings of the named analyzer on its own
-// line and on the line directly below — so it works both as a
-// trailing comment and as a standalone comment above the flagged
-// statement. The reason is mandatory: an empty or missing reason is
-// itself a diagnostic, so every suppression carries a justification a
-// reviewer can audit.
-var allowRe = regexp.MustCompile(`^//simlint:allow\s+([a-z]+)\s*\((.*)\)\s*$`)
+// Analyzer names are lowercase letters and digits (starting with a
+// letter); a comma-separated list suppresses several analyzers with
+// one shared reason. The annotation suppresses findings of the named
+// analyzers on its own line and on the line directly below — so it
+// works both as a trailing comment and as a standalone comment above
+// the flagged statement. The reason is mandatory: an empty or missing
+// reason is itself a diagnostic, so every suppression carries a
+// justification a reviewer can audit.
+var allowRe = regexp.MustCompile(`^//simlint:allow\s+([a-z][a-z0-9]*(?:\s*,\s*[a-z][a-z0-9]*)*)\s*\((.*)\)\s*$`)
 
 // allowIndex maps file → line → analyzers allowed at that line.
 type allowIndex map[string]map[int]map[string]bool
@@ -69,7 +72,9 @@ func collectAllows(pkg *Package, diags *[]Diagnostic) allowIndex {
 				if lines[pos.Line] == nil {
 					lines[pos.Line] = make(map[string]bool)
 				}
-				lines[pos.Line][m[1]] = true
+				for _, name := range strings.Split(m[1], ",") {
+					lines[pos.Line][strings.TrimSpace(name)] = true
+				}
 			}
 		}
 	}

@@ -1,0 +1,329 @@
+package lint
+
+// cfg.go builds per-function control-flow graphs over plain go/ast —
+// the skeleton the ownership dataflow engine (ownership.go) iterates
+// to a fixpoint. The graph is statement-granular: each block holds a
+// straight-line run of AST nodes (statements, plus the condition and
+// tag expressions of the control statement that ends the block), and
+// edges over-approximate control flow. Over-approximation is always
+// safe here: a spurious path can only widen an ownership fact set,
+// never hide a real one.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one straight-line run of evaluation. nodes contains
+// ast.Stmt and ast.Expr values in evaluation order.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// cfg is one function body's control-flow graph. Every return
+// statement (and the fall-off-the-end path) leads to exit; paths that
+// end in panic lead nowhere, so facts on them never reach the exit
+// join — a function that aborts is not charged with leaking.
+type cfg struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// preds returns the predecessor lists, indexed like successor edges.
+func (g *cfg) preds() map[*cfgBlock][]*cfgBlock {
+	p := make(map[*cfgBlock][]*cfgBlock, len(g.blocks))
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			p[s] = append(p[s], b)
+		}
+	}
+	return p
+}
+
+type cfgLoop struct {
+	brk   *cfgBlock // break target (loops, switch, select)
+	cont  *cfgBlock // continue target (loops only, nil otherwise)
+	label string    // label of the enclosing labeled statement, or ""
+}
+
+type cfgGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+type cfgBuilder struct {
+	g      *cfg
+	loops  []cfgLoop
+	falls  []*cfgBlock // fallthrough target stack (next case clause)
+	labels map[string]*cfgBlock
+	gotos  []cfgGoto
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{g: &cfg{}, labels: make(map[string]*cfgBlock)}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	if out := b.stmtList(b.g.entry, body.List); out != nil {
+		b.edge(out, b.g.exit)
+	}
+	// goto targets may be defined after the jump; patch at the end.
+	// Unknown labels (malformed code) conservatively edge to exit.
+	for _, gt := range b.gotos {
+		if t := b.labels[gt.label]; t != nil {
+			b.edge(gt.from, t)
+		} else {
+			b.edge(gt.from, b.g.exit)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// stmtList threads a statement sequence through cur, returning the
+// block where control continues, or nil when every path terminated.
+// Unreachable trailing statements get an island block: their effects
+// are still walked (keeping the node evaluator total) but no facts
+// flow into or out of them.
+func (b *cfgBuilder) stmtList(cur *cfgBlock, list []ast.Stmt) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt, label string) *cfgBlock {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return cur
+
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.LabeledStmt:
+		start := b.newBlock()
+		b.edge(cur, start)
+		b.labels[s.Label.Name] = start
+		return b.stmt(start, s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		cur = b.stmt(cur, s.Init, "")
+		cur.nodes = append(cur.nodes, s.Cond)
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		if out := b.stmtList(thenB, s.Body.List); out != nil {
+			b.edge(out, after)
+		}
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			if out := b.stmt(elseB, s.Else, ""); out != nil {
+				b.edge(out, after)
+			}
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		cur = b.stmt(cur, s.Init, "")
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.loops = append(b.loops, cfgLoop{brk: after, cont: post, label: label})
+		out := b.stmtList(body, s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		if out != nil {
+			b.edge(out, post)
+		}
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+		}
+		b.edge(post, head)
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		// The RangeStmt node itself evaluates the ranged expression and
+		// (re)binds the iteration variables, once per trip through head.
+		head.nodes = append(head.nodes, s)
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.loops = append(b.loops, cfgLoop{brk: after, cont: head, label: label})
+		out := b.stmtList(body, s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		if out != nil {
+			b.edge(out, head)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		cur = b.stmt(cur, s.Init, "")
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		return b.caseClauses(cur, s.Body.List, label)
+
+	case *ast.TypeSwitchStmt:
+		cur = b.stmt(cur, s.Init, "")
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.caseClauses(cur, s.Body.List, label)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.loops = append(b.loops, cfgLoop{brk: after, label: label})
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(cur, cb)
+			next := b.stmt(cb, cc.Comm, "")
+			if out := b.stmtList(next, cc.Body); out != nil {
+				b.edge(out, after)
+			}
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.edge(cur, b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s.Label, false); t != nil {
+				b.edge(cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s.Label, true); t != nil {
+				b.edge(cur, t)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, cfgGoto{from: cur, label: s.Label.Name})
+		case token.FALLTHROUGH:
+			if n := len(b.falls); n > 0 && b.falls[n-1] != nil {
+				b.edge(cur, b.falls[n-1])
+			}
+		}
+		return nil
+
+	default:
+		// Straight-line statements: ExprStmt, AssignStmt, DeclStmt,
+		// IncDecStmt, SendStmt, GoStmt, DeferStmt.
+		cur.nodes = append(cur.nodes, s)
+		if isPanicStmt(s) {
+			// Unwinding path: no successor, so facts on it never reach
+			// the exit join.
+			return nil
+		}
+		return cur
+	}
+}
+
+// caseClauses wires a switch (expression or type) body: every clause
+// is reachable from the dispatch block, fallthrough reaches the next
+// clause, and a missing default adds the skip edge.
+func (b *cfgBuilder) caseClauses(cur *cfgBlock, clauses []ast.Stmt, label string) *cfgBlock {
+	after := b.newBlock()
+	b.loops = append(b.loops, cfgLoop{brk: after, label: label})
+	blocks := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cb := blocks[i]
+		b.edge(cur, cb)
+		for _, e := range cc.List {
+			cb.nodes = append(cb.nodes, e)
+		}
+		var fall *cfgBlock
+		if i+1 < len(blocks) {
+			fall = blocks[i+1]
+		}
+		b.falls = append(b.falls, fall)
+		out := b.stmtList(cb, cc.Body)
+		b.falls = b.falls[:len(b.falls)-1]
+		if out != nil {
+			b.edge(out, after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		b.edge(cur, after)
+	}
+	return after
+}
+
+// branchTarget resolves break/continue, labeled or not, to its block.
+func (b *cfgBuilder) branchTarget(label *ast.Ident, wantContinue bool) *cfgBlock {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		l := b.loops[i]
+		if wantContinue && l.cont == nil {
+			continue // break-only scopes (switch/select) are transparent to continue
+		}
+		if label != nil && l.label != label.Name {
+			continue
+		}
+		if wantContinue {
+			return l.cont
+		}
+		return l.brk
+	}
+	return nil
+}
+
+// isPanicStmt reports whether s is a bare panic(...) call — the one
+// statement form treated as terminating. Matching the identifier by
+// name (rather than through go/types) keeps the builder usable before
+// type information exists; shadowing panic would only cost precision,
+// not soundness.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -105,10 +105,23 @@ func (p *Pass) Reportf(analyzer string, pos token.Pos, format string, args ...an
 	})
 }
 
+// Preparer is implemented by analyzers that need a whole-run phase
+// before per-package reporting — the ownership engine computes its
+// interprocedural function summaries here. Run invokes Prepare once
+// per analyzer, with every package of the run, before any Run call.
+type Preparer interface {
+	Prepare(pkgs []*Package)
+}
+
 // Run executes the analyzers over each package and returns all
 // diagnostics sorted by (file, line, col, analyzer). Malformed or
 // reason-less allow annotations surface as diagnostics themselves.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	for _, a := range analyzers {
+		if p, ok := a.(Preparer); ok {
+			p.Prepare(pkgs)
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg, &diags)
@@ -128,19 +141,25 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }
 
-// DefaultSuite returns the four analyzers with DDoSim's repo policy
+// DefaultSuite returns the six analyzers with DDoSim's repo policy
 // baked in.
 func DefaultSuite() []Analyzer {
+	pktown, stalecapture := NewOwnership()
 	return []Analyzer{
 		NewWallclock(),
 		NewGlobalRand(),
 		NewMapOrder(),
 		NewSchedBlock(),
+		pktown,
+		stalecapture,
 	}
 }
 

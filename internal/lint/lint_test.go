@@ -105,6 +105,83 @@ func TestSchedBlock(t *testing.T) {
 	checkGolden(t, "schedblock", []*Package{pkg}, []Analyzer{NewSchedBlock()})
 }
 
+// ownershipSuite returns the pktown/stalecapture pair as an analyzer
+// slice (they must run off one shared engine).
+func ownershipSuite() []Analyzer {
+	pktown, stalecapture := NewOwnership()
+	return []Analyzer{pktown, stalecapture}
+}
+
+func TestPktOwn(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "pktown/pktfix")
+	checkGolden(t, "pktown", []*Package{pkg}, ownershipSuite())
+}
+
+// TestPktOwnUAF pins the deliberate use-after-release fixture — the
+// same code internal/netsim/sanitize_test.go executes under -tags
+// simdebug — to its exact file:line.
+func TestPktOwnUAF(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "pktown/uaf")
+	diags := Run([]*Package{pkg}, ownershipSuite())
+	checkGolden(t, "pktown_uaf", []*Package{pkg}, ownershipSuite())
+	if len(diags) != 1 || diags[0].Analyzer != "pktown" ||
+		diags[0].File != "internal/lint/testdata/pktown/uaf/uaf.go" {
+		t.Fatalf("want exactly one pktown finding in uaf.go, got %v", diags)
+	}
+}
+
+func TestStaleCapture(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "stalecapture/stalefix")
+	checkGolden(t, "stalecapture", []*Package{pkg}, ownershipSuite())
+}
+
+// TestAllowMulti covers the extended allow grammar: comma-separated
+// analyzer lists, digits in names, and malformed-annotation
+// diagnostics.
+func TestAllowMulti(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "allowlist/multi")
+	checkGolden(t, "allowmulti", []*Package{pkg}, ownershipSuite())
+}
+
+// TestRunOrdering: Run's output must be totally ordered by
+// (file, line, col, analyzer, message) — the stability contract
+// cmd/simlint documents for both text and -json output.
+func TestRunOrdering(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs := []*Package{
+		loadFixture(t, l, "pktown/pktfix"),
+		loadFixture(t, l, "stalecapture/stalefix"),
+	}
+	diags := Run(pkgs, ownershipSuite())
+	if len(diags) < 2 {
+		t.Fatalf("expected several findings, got %v", diags)
+	}
+	less := func(a, b Diagnostic) bool {
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	}
+	for i := 1; i < len(diags); i++ {
+		if less(diags[i], diags[i-1]) {
+			t.Errorf("diagnostics out of order at %d: %v before %v", i, diags[i-1], diags[i])
+		}
+	}
+}
+
 // TestRepoClean is the acceptance gate in unit-test form: the default
 // suite over every package in the module must come back empty, i.e.
 // `go run ./cmd/simlint ./...` exits 0 on this tree.

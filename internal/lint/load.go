@@ -178,9 +178,13 @@ func (l *Loader) typecheck(path string) (*Package, error) {
 	}, nil
 }
 
-// goFileNames lists the non-test Go files of dir in sorted order.
-// Test files are outside simlint's scope: they run off the simulated
-// clock by nature and are covered by `go test -race` instead.
+// goFileNames lists the non-test Go files of dir in sorted order,
+// honouring build constraints under the default (no extra tags)
+// configuration — so of a //go:build simdebug / !simdebug pair only
+// the !simdebug file is loaded, exactly like `go build ./...` sees
+// the tree. Test files are outside simlint's scope: they run off the
+// simulated clock by nature and are covered by `go test -race`
+// instead.
 func goFileNames(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -191,6 +195,9 @@ func goFileNames(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,34 @@
+package lint
+
+// PktOwn is the static half of the pooled-packet lifetime tooling:
+// use-after-release, double-release, release-after-hand-off, and pool
+// leaks, computed by the flow-sensitive ownership engine
+// (ownership.go) and cross-validated at runtime by the simdebug
+// sanitizer in internal/netsim. PktOwn and StaleCapture share one
+// engine so the whole-run dataflow fixpoint happens once.
+type PktOwn struct {
+	eng *ownEngine
+}
+
+// NewOwnership builds the pktown/stalecapture analyzer pair over a
+// shared ownership engine configured for the netsim packet pool.
+func NewOwnership() (*PktOwn, *StaleCapture) {
+	eng := newOwnEngine(DefaultOwnConfig())
+	return &PktOwn{eng: eng}, &StaleCapture{eng: eng}
+}
+
+// Name implements Analyzer.
+func (p *PktOwn) Name() string { return "pktown" }
+
+// Doc implements Analyzer.
+func (p *PktOwn) Doc() string {
+	return "use-after-release, double-release, and leaks of pooled *netsim.Packet values"
+}
+
+// Prepare implements Preparer: the dataflow fixpoint over every
+// function in the run, before per-package reporting starts.
+func (p *PktOwn) Prepare(pkgs []*Package) { p.eng.Prepare(pkgs) }
+
+// Run implements Analyzer by replaying the engine's pktown findings
+// through the pass's allow filter.
+func (p *PktOwn) Run(pass *Pass) { p.eng.report(pass, p.Name()) }

@@ -1,0 +1,27 @@
+package lint
+
+// StaleCapture flags scheduler callbacks (sim.Schedule*/NewTicker
+// function-literal arguments) that capture pooled values whose
+// lifetime ends before the event can fire under the slot/generation
+// kernel: borrowed packets (including range-loop variables over
+// packet containers) whose borrow expires when the scheduling frame
+// returns, packets already released or handed off at capture time,
+// and owned packets released while a pending callback still holds
+// them. It shares its dataflow engine with PktOwn (see NewOwnership).
+type StaleCapture struct {
+	eng *ownEngine
+}
+
+// Name implements Analyzer.
+func (s *StaleCapture) Name() string { return "stalecapture" }
+
+// Doc implements Analyzer.
+func (s *StaleCapture) Doc() string {
+	return "scheduler callbacks capturing pooled values whose lifetime ends before the event fires"
+}
+
+// Prepare implements Preparer (idempotent across the shared engine).
+func (s *StaleCapture) Prepare(pkgs []*Package) { s.eng.Prepare(pkgs) }
+
+// Run implements Analyzer.
+func (s *StaleCapture) Run(pass *Pass) { s.eng.report(pass, s.Name()) }

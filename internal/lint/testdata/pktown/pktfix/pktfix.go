@@ -1,0 +1,118 @@
+// Package pktfix exercises the pktown ownership analyzer: the Bad
+// functions are true positives the golden file pins to exact lines,
+// the Ok functions are true negatives guarding the engine against
+// false alarms on the idioms the real tree uses.
+package pktfix
+
+import "ddosim/internal/netsim"
+
+// BadUseAfterRelease reads a packet after returning it to the pool.
+func BadUseAfterRelease(w *netsim.Network) int {
+	p := w.AllocPacket()
+	w.ReleasePacket(p)
+	return p.PayloadSize()
+}
+
+// BadDoubleRelease frees the same packet twice.
+func BadDoubleRelease(w *netsim.Network) {
+	p := w.AllocPacket()
+	w.ReleasePacket(p)
+	w.ReleasePacket(p)
+}
+
+// BadUseAfterSend touches a packet after the terminal hand-off to the
+// send path.
+func BadUseAfterSend(n *netsim.Node, w *netsim.Network) int {
+	p := w.AllocPacket()
+	n.SendPacket(p)
+	return p.Size()
+}
+
+// BadLeak returns without releasing or handing off on the drop path.
+func BadLeak(w *netsim.Network, drop bool) {
+	p := w.AllocPacket()
+	if drop {
+		return
+	}
+	w.ReleasePacket(p)
+}
+
+// BadDiscard drops an owned allocation on the floor.
+func BadDiscard(w *netsim.Network) {
+	w.AllocPacket()
+}
+
+// releaseHelper frees its argument unconditionally; its function
+// summary carries the release to callers.
+func releaseHelper(w *netsim.Network, p *netsim.Packet) {
+	w.ReleasePacket(p)
+}
+
+// BadInterproc releases through the helper, then touches the packet —
+// visible only through the interprocedural summary.
+func BadInterproc(w *netsim.Network) int {
+	p := w.AllocPacket()
+	releaseHelper(w, p)
+	return p.Size()
+}
+
+// sendHelper hands its argument to the send path unconditionally.
+func sendHelper(n *netsim.Node, p *netsim.Packet) {
+	n.SendPacket(p)
+}
+
+// BadInterprocSend releases after an interprocedural hand-off.
+func BadInterprocSend(n *netsim.Node, w *netsim.Network) {
+	p := w.AllocPacket()
+	sendHelper(n, p)
+	w.ReleasePacket(p)
+}
+
+// OkSendOnAllPaths hands the packet off exactly once on every path.
+func OkSendOnAllPaths(n *netsim.Node, w *netsim.Network, abort bool) {
+	p := w.AllocPacket()
+	if abort {
+		w.ReleasePacket(p)
+		return
+	}
+	n.SendPacket(p)
+}
+
+// OkDeferRelease releases via defer; the packet stays usable until
+// return and the exit leak check knows it is covered.
+func OkDeferRelease(w *netsim.Network) int {
+	p := w.AllocPacket()
+	defer w.ReleasePacket(p)
+	return p.Size()
+}
+
+// OkLoop rebinds the variable each iteration after a terminal
+// hand-off; no state leaks across iterations.
+func OkLoop(n *netsim.Node, w *netsim.Network, k int) {
+	for i := 0; i < k; i++ {
+		p := w.AllocPacket()
+		p.Pad = i
+		n.SendPacket(p)
+	}
+}
+
+// OkBorrowedParam only reads its borrowed argument.
+func OkBorrowedParam(p *netsim.Packet) int {
+	return p.Size() + p.PayloadSize()
+}
+
+// OkNilCompare: comparing a released pointer is legal Go, not a use.
+func OkNilCompare(w *netsim.Network) bool {
+	p := w.AllocPacket()
+	w.ReleasePacket(p)
+	return p != nil
+}
+
+// OkAllowed is the allow-suppression case: the finding on the read
+// below is audited away.
+func OkAllowed(w *netsim.Network) int {
+	p := w.AllocPacket()
+	w.ReleasePacket(p)
+	//simlint:allow pktown(fixture demonstrates audited suppression of an ownership finding)
+	return p.PayloadSize()
+}

@@ -1,0 +1,19 @@
+// Package uaf is the deliberate pooled-packet use-after-release — the
+// cross-validation target: the pktown analyzer must flag the read in
+// Provoke at its exact line (golden/pktown_uaf.txt pins it), and the
+// same call must panic in the runtime sanitizer when executed under
+// `go test -tags simdebug` (internal/netsim/sanitize_test.go imports
+// this package and asserts the panic message). One bug, two catchers.
+package uaf
+
+import "ddosim/internal/netsim"
+
+// Provoke allocates a pooled packet, releases it back to the free
+// list, then reads it — the memory-error pattern the paper's exploit
+// chain weaponizes.
+func Provoke(w *netsim.Network) int {
+	p := w.AllocPacket()
+	p.Payload = []byte("boom")
+	w.ReleasePacket(p)
+	return p.Size() // use-after-release: flagged statically, panics under simdebug
+}

@@ -145,6 +145,7 @@ func (d *NetDevice) SetUp(up bool) {
 // frame is dropped (and freed) when the device is down or the drop-tail
 // queue is full.
 func (d *NetDevice) Send(pkt *Packet) {
+	pkt.sanCheck("NetDevice.Send")
 	if !d.up {
 		d.stats.DownDrops++
 		d.node.net.putPacket(pkt)
@@ -227,6 +228,7 @@ func (d *NetDevice) SetLossRate(p float64) {
 func (d *NetDevice) LossRate() float64 { return d.lossRate }
 
 func (d *NetDevice) receive(pkt *Packet) {
+	pkt.sanCheck("NetDevice.receive")
 	if !d.up {
 		d.stats.DownDrops++
 		d.node.net.putPacket(pkt)

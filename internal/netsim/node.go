@@ -140,10 +140,15 @@ func (n *Node) attach(d *NetDevice) {
 // addressed to this node, otherwise queued on the route's device.
 // SendPacket takes ownership of pkt (see Packet).
 func (n *Node) SendPacket(pkt *Packet) {
+	pkt.sanCheck("Node.SendPacket")
 	dst := pkt.Dst.Addr()
 	if n.addrs[dst] {
 		// Loopback: deliver after a negligible local delay to keep
-		// event ordering sane.
+		// event ordering sane. SendPacket owns pkt by contract (not a
+		// borrow as the analyzer must assume for parameters), the event
+		// cannot be cancelled, and the callback itself releases the
+		// packet — audited 2026-08: ownership moves into the callback.
+		//simlint:allow stalecapture(SendPacket owns pkt and transfers it into the uncancellable loopback event, which releases it)
 		n.sched.Schedule(sim.Microsecond, func() {
 			n.deliverLocal(pkt)
 			n.net.putPacket(pkt)
@@ -217,6 +222,7 @@ func (n *Node) floodMulticast(in *NetDevice, pkt *Packet) {
 // of the call (Payload may be retained; the *Packet and TCP header may
 // not).
 func (n *Node) deliverLocal(pkt *Packet) {
+	pkt.sanCheck("Node.deliverLocal")
 	if n.filter != nil && !n.filter(pkt) {
 		n.filterDrops++
 		return

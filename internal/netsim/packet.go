@@ -80,6 +80,12 @@ type Packet struct {
 	Pad     int
 	TCP     *TCPHeader
 
+	// san is the pool sanitizer's bookkeeping: generation stamp plus
+	// alloc/release sites under -tags simdebug, a zero-size struct
+	// otherwise. It sits before hdr so the zero-size case adds no
+	// trailing padding to the struct.
+	san sanState
+
 	// hdr is in-struct storage for the TCP header; SetTCP points TCP at
 	// it so a pooled packet's header rides the same allocation.
 	hdr TCPHeader
@@ -88,6 +94,7 @@ type Packet struct {
 // SetTCP stamps a TCP header onto the packet without allocating: the
 // header lives inside the Packet struct and is recycled with it.
 func (p *Packet) SetTCP(flags TCPFlags, seq, ack uint32) {
+	p.sanCheck("SetTCP")
 	p.hdr = TCPHeader{Flags: flags, Seq: seq, Ack: ack}
 	p.TCP = &p.hdr
 }
@@ -99,6 +106,7 @@ func (p *Packet) PayloadSize() int { return len(p.Payload) + p.Pad }
 // Size reports the on-wire frame size in bytes: L2 + L3 + L4 headers
 // plus the application payload.
 func (p *Packet) Size() int {
+	p.sanCheck("Size")
 	size := etherHeaderBytes + p.PayloadSize()
 	if p.Dst.Addr().Is6() {
 		size += ipv6HeaderBytes
@@ -117,6 +125,7 @@ func (p *Packet) Size() int {
 // Clone returns a deep copy of the packet. Multicast fan-out clones so
 // that each recipient owns its payload.
 func (p *Packet) Clone() *Packet {
+	p.sanCheck("Clone")
 	cp := *p
 	if p.Payload != nil {
 		cp.Payload = make([]byte, len(p.Payload))
@@ -126,10 +135,12 @@ func (p *Packet) Clone() *Packet {
 		cp.hdr = *p.TCP
 		cp.TCP = &cp.hdr
 	}
+	cp.sanAlloc()
 	return &cp
 }
 
 // String renders a compact single-line description for traces.
 func (p *Packet) String() string {
+	p.sanCheck("String")
 	return fmt.Sprintf("%s %s->%s len=%d", p.Proto, p.Src, p.Dst, p.PayloadSize())
 }

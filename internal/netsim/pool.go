@@ -37,11 +37,22 @@ func (w *Network) getPacket() *Packet {
 		w.pool[n-1] = nil
 		w.pool = w.pool[:n-1]
 		w.poolReused++
+		p.sanUnpoison()
+		p.sanAlloc()
 		return p
 	}
 	w.poolAllocs++
-	return &Packet{}
+	p := &Packet{}
+	p.sanAlloc()
+	return p
 }
+
+// ReleasePacket returns an allocated-but-unsent packet to the free
+// list: the undo of AllocPacket for callers that populate a packet and
+// then abort before the send would have transferred ownership. Sending
+// a released packet is a use-after-release (caught by the pktown
+// analyzer statically and the simdebug sanitizer at runtime).
+func (w *Network) ReleasePacket(p *Packet) { w.putPacket(p) }
 
 // putPacket retires a packet at its terminal point (delivered locally,
 // or dropped). The struct is zeroed — dropping its Payload and TCP
@@ -51,7 +62,15 @@ func (w *Network) putPacket(p *Packet) {
 	if p == nil {
 		return
 	}
+	p.sanRelease()
+	// The sanitizer state must survive the zeroing: the generation
+	// stamp and release site are exactly what the next use-after-release
+	// panic needs to report. Zero-cost without the simdebug tag, where
+	// sanState is an empty struct.
+	san := p.san
 	*p = Packet{}
+	p.san = san
+	p.sanPoison()
 	if len(w.pool) < packetPoolCap {
 		w.pool = append(w.pool, p)
 	}
@@ -61,6 +80,7 @@ func (w *Network) putPacket(p *Packet) {
 // the payload copy is fresh (receivers may retain payload slices, so
 // backing arrays are never shared with or recycled from the pool).
 func (w *Network) clonePacket(p *Packet) *Packet {
+	p.sanCheck("clonePacket")
 	cp := w.getPacket()
 	cp.UID, cp.Proto, cp.Src, cp.Dst, cp.Pad = p.UID, p.Proto, p.Src, p.Dst, p.Pad
 	if p.Payload != nil {

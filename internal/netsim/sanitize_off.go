@@ -1,0 +1,31 @@
+//go:build !simdebug
+
+package netsim
+
+// Release build: the pool sanitizer compiles away entirely. sanState
+// is zero-sized (and placed before Packet.hdr so it costs no trailing
+// padding), and every hook is an empty method the compiler inlines to
+// nothing — the flood path stays allocation- and branch-free.
+//
+// Build with -tags simdebug to arm the sanitizer (sanitize_on.go):
+// released packets are poisoned and generation-stamped, and any use,
+// mutation, or double release of a stale packet panics with the
+// alloc/release sites. The pktown static analyzer (internal/lint)
+// catches the same bug class at compile time; the sanitizer
+// cross-validates it at runtime.
+
+type sanState struct{}
+
+func (p *Packet) sanAlloc()       {}
+func (p *Packet) sanUnpoison()    {}
+func (p *Packet) sanRelease()     {}
+func (p *Packet) sanPoison()      {}
+func (p *Packet) sanCheck(string) {}
+
+// SanitizerEnabled reports whether this binary carries the simdebug
+// pool sanitizer.
+func SanitizerEnabled() bool { return false }
+
+// Generation reports the sanitizer's recycle count for this packet
+// struct; always 0 in release builds.
+func (p *Packet) Generation() uint64 { return 0 }

@@ -125,6 +125,13 @@ func (s *Scheduler) SetHook(hook func(at Time, src string, pending int)) {
 
 // Schedule queues fn to run after delay. A negative delay is treated as
 // zero (run at the current instant, after already-queued events for it).
+//
+// Lifetime contract: fn outlives the scheduling frame, so it must not
+// capture values it merely borrows — in particular a pooled
+// *netsim.Packet received as a parameter, which its owner may recycle
+// before the event fires. Capture an owned packet only to transfer
+// ownership into the callback (which then releases or forwards it).
+// The stalecapture analyzer enforces this statically.
 func (s *Scheduler) Schedule(delay Time, fn func()) EventID {
 	return s.ScheduleSrc(delay, "", fn)
 }

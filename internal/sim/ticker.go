@@ -17,6 +17,10 @@ type Ticker struct {
 
 // NewTicker creates a ticker bound to sched that fires fn every period.
 // The ticker starts stopped; call Start.
+//
+// fn is subject to the same lifetime contract as Scheduler.Schedule
+// callbacks — and more so, since it fires repeatedly: it must not
+// capture borrowed pooled values (see stalecapture in internal/lint).
 func NewTicker(sched *Scheduler, period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
