@@ -2,12 +2,13 @@
 // reduced scale and writes machine-readable BENCH_*.json files — the
 // CI-friendly counterpart of `go test -bench`. Each file holds one
 // suite: the end-to-end kill chain across fleet sizes (with the
-// observability layer's own accounting of where kernel time went) and
-// the raw discrete-event kernel throughput.
+// observability layer's own accounting of where kernel time went),
+// the raw discrete-event kernel throughput, and the UDP-flood send
+// path with flow accounting off vs on.
 //
 // Examples:
 //
-//	benchjson                 # write BENCH_killchain.json, BENCH_scheduler.json
+//	benchjson                 # write BENCH_killchain.json, BENCH_scheduler.json, BENCH_flood.json
 //	benchjson -out results/   # write them elsewhere
 //	benchjson -devs 10,50,100 -seeds 3
 package main
@@ -16,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -24,6 +26,8 @@ import (
 	"time"
 
 	"ddosim/ddosim"
+	"ddosim/internal/netsim"
+	"ddosim/internal/obs"
 	"ddosim/internal/sim"
 )
 
@@ -63,6 +67,17 @@ type schedRow struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
+// floodRow is one UDP-flood hot-path measurement: per-packet cost of
+// the send path with flow accounting off vs on.
+type floodRow struct {
+	Packets         int     `json:"packets"`
+	FlowsEnabled    bool    `json:"flows_enabled"`
+	WallMS          float64 `json:"wall_ms"`
+	NSPerPacket     float64 `json:"ns_per_packet"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	FlowsExported   uint64  `json:"flows_exported"`
+}
+
 type suite struct {
 	Name      string `json:"name"`
 	GoVersion string `json:"go_version"`
@@ -96,7 +111,75 @@ func run() error {
 	if err := writeSuite(*outDir, "BENCH_scheduler.json", "scheduler", benchScheduler()); err != nil {
 		return err
 	}
+	// The flood suite writes its own before/after pair: _before pins
+	// the send path without flow accounting, the main file carries both
+	// variants so the overhead is a one-file diff.
+	off, on := benchFlood(false), benchFlood(true)
+	if err := writeSuite(*outDir, "BENCH_flood_before.json", "flood", []floodRow{off}); err != nil {
+		return err
+	}
+	if err := writeSuite(*outDir, "BENCH_flood.json", "flood", []floodRow{off, on}); err != nil {
+		return err
+	}
 	return nil
+}
+
+// benchFlood measures the UDP flood send path — the hot loop behind
+// every attack experiment — with and without flow accounting. One
+// continuous src→dst stream, one padded datagram per 100 µs of sim
+// time, mirroring internal/netsim's BenchmarkUDPFloodPath.
+func benchFlood(withFlows bool) floodRow {
+	const warmup, packets = 1_000, 200_000
+	sched := sim.NewScheduler(1)
+	w := netsim.New(sched)
+	star := netsim.NewStar(w)
+	var buf obs.FlowBuffer
+	if withFlows {
+		w.EnableFlows(netsim.FlowConfig{Sink: &buf})
+	}
+	src := star.AttachHost("src", 100*netsim.Mbps, sim.Millisecond, 64)
+	dst := star.AttachHost("dst", 100*netsim.Mbps, sim.Millisecond, 64)
+	if _, err := dst.BindUDP(80, nil); err != nil {
+		panic(err)
+	}
+	sock, err := src.BindUDP(0, nil)
+	if err != nil {
+		panic(err)
+	}
+	target := netip.AddrPortFrom(dst.Addr4(), 80)
+
+	now := sched.Now()
+	step := func() {
+		sock.SendPadded(target, nil, 512)
+		now += 100 * sim.Microsecond
+		if err := sched.Run(now); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		step()
+	}
+	start := time.Now()
+	mallocs0 := mallocCount()
+	for i := 0; i < packets; i++ {
+		step()
+	}
+	mallocs := mallocCount() - mallocs0
+	wall := time.Since(start)
+
+	row := floodRow{
+		Packets:         packets,
+		FlowsEnabled:    withFlows,
+		WallMS:          float64(wall.Microseconds()) / 1000,
+		NSPerPacket:     float64(wall.Nanoseconds()) / float64(packets),
+		AllocsPerPacket: float64(mallocs) / float64(packets),
+	}
+	if ft := w.Flows(); ft != nil {
+		ft.Stop()
+		ft.FlushAll(sched.Now())
+		row.FlowsExported = ft.Stats().Exported
+	}
+	return row
 }
 
 // benchKillChain times one complete build-exploit-infect-flood-measure

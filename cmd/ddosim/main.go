@@ -10,6 +10,7 @@
 //	ddosim -devs 30 -timeline            # full kill-chain event log
 //	ddosim -devs 30 -trace run.trace.json   # open in Perfetto / chrome://tracing
 //	ddosim -devs 30 -metrics-out run.prom   # Prometheus-style counter dump
+//	ddosim -devs 30 -flows-out run.flows.csv -ts-out run.ts.csv   # labeled flow dataset + windowed metrics
 //	ddosim -devs 30 -faults intensity=0.5   # canonical fault scenario, half strength
 //	ddosim -devs 30 -faults 'flap:period=60s,down=5s;crash:period=120s' -cnc-replay
 package main
@@ -55,6 +56,9 @@ func run() error {
 		spark     = flag.Bool("sparkline", false, "print a sparkline of the per-second rate")
 		traceOut  = flag.String("trace", "", "write the run trace to this file (Chrome trace_event JSON; a .jsonl extension selects JSONL)")
 		promOut   = flag.String("metrics-out", "", "write a Prometheus-style metrics dump to this file")
+		flowsOut  = flag.String("flows-out", "", "write the labeled NetFlow-style flow records to this file (CSV; a .jsonl extension selects JSONL)")
+		tsOut     = flag.String("ts-out", "", "write the windowed time-series metrics to this file (CSV; a .jsonl extension selects JSONL)")
+		window    = flag.Float64("window", 1, "time-series window size in seconds")
 		schedQ    = flag.String("sched-queue", "heap", "event-queue backend: heap|calendar (byte-identical results, speed only)")
 		faultSpec = flag.String("faults", "", "fault-injection spec: \"intensity=0.5\" or \"kind:key=val,...;...\" (kinds: flap|loss|degrade|crash|cnc|sink)")
 		cncReplay = flag.Bool("cnc-replay", false, "C&C replays the attack order (trimmed) to bots that register during the attack window")
@@ -102,6 +106,10 @@ func run() error {
 	}
 	cfg.Faults = fc
 	cfg.CNCReplayAttack = *cncReplay
+	if *window <= 0 {
+		return fmt.Errorf("window size must be positive, got %v", *window)
+	}
+	cfg.WindowSize = ddosim.Time(*window * float64(ddosim.Second))
 
 	sim, err := ddosim.New(cfg)
 	if err != nil {
@@ -124,6 +132,24 @@ func run() error {
 	if *promOut != "" {
 		if err := writeTo(*promOut, sim.Obs().Metrics.WritePrometheus); err != nil {
 			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if *flowsOut != "" {
+		write := sim.Flows().WriteCSV
+		if strings.HasSuffix(*flowsOut, ".jsonl") {
+			write = sim.Flows().WriteJSONL
+		}
+		if err := writeTo(*flowsOut, write); err != nil {
+			return fmt.Errorf("write flows: %w", err)
+		}
+	}
+	if *tsOut != "" {
+		write := sim.Windows().WriteCSV
+		if strings.HasSuffix(*tsOut, ".jsonl") {
+			write = sim.Windows().WriteJSONL
+		}
+		if err := writeTo(*tsOut, write); err != nil {
+			return fmt.Errorf("write time series: %w", err)
 		}
 	}
 

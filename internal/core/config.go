@@ -160,6 +160,16 @@ type Config struct {
 	// same seed yields byte-identical artifacts on either — so this is
 	// purely a performance knob.
 	SchedQueue sim.QueueKind
+
+	// FlowActiveTimeout and FlowIdleTimeout tune the NetFlow-style
+	// flow exporter: a flow is checkpointed after ActiveTimeout of
+	// continuous activity and closed after IdleTimeout of silence.
+	// Zero selects the netsim defaults (60 s / 15 s).
+	FlowActiveTimeout sim.Time
+	FlowIdleTimeout   sim.Time
+	// WindowSize is the aggregation interval of the windowed
+	// time-series artifact. Zero selects 1 s.
+	WindowSize sim.Time
 }
 
 // DefaultConfig returns the paper's baseline parameters for a fleet of
@@ -190,6 +200,9 @@ func DefaultConfig(numDevs int) Config {
 		WeakCredFraction:   1.0,
 		ScanPeriod:         2 * sim.Second,
 		SeedCount:          1,
+		FlowActiveTimeout:  netsim.DefaultFlowActiveTimeout,
+		FlowIdleTimeout:    netsim.DefaultFlowIdleTimeout,
+		WindowSize:         sim.Second,
 	}
 }
 
@@ -221,6 +234,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: unknown attack method %q", c.AttackMethod)
 	case c.SchedQueue != "" && c.SchedQueue != sim.QueueHeap && c.SchedQueue != sim.QueueCalendar:
 		return fmt.Errorf("core: unknown scheduler queue %q", c.SchedQueue)
+	case c.FlowActiveTimeout < 0 || c.FlowIdleTimeout < 0 || c.WindowSize < 0:
+		return fmt.Errorf("core: negative telemetry interval")
 	}
 	if c.Vector == VectorCredentials && c.NumDevs > 200 {
 		// Scanners sweep 10.0.0.0/24; the paper's fleets stay within

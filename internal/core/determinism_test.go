@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"io"
 	"testing"
 
 	"ddosim/internal/churn"
@@ -13,20 +14,50 @@ import (
 	"ddosim/internal/sim"
 )
 
+// artifacts holds every serialized export of one run. The determinism
+// tests compare (and hash) these byte-for-byte.
+type artifacts struct {
+	rep    []byte // report JSON
+	jsonl  []byte // trace JSONL
+	chrome []byte // Chrome trace_event JSON
+	flows  []byte // labeled flow dataset CSV
+	ts     []byte // windowed time-series CSV
+}
+
+// equal compares all artifacts and reports each mismatch through t.
+func (a artifacts) equal(t *testing.T, b artifacts, what string) {
+	t.Helper()
+	pairs := []struct {
+		name   string
+		x1, x2 []byte
+	}{
+		{"report JSON", a.rep, b.rep},
+		{"trace JSONL", a.jsonl, b.jsonl},
+		{"Chrome trace", a.chrome, b.chrome},
+		{"flow CSV", a.flows, b.flows},
+		{"time-series CSV", a.ts, b.ts},
+	}
+	for _, p := range pairs {
+		if !bytes.Equal(p.x1, p.x2) {
+			t.Errorf("%s: %s differs:\n%s", what, p.name, firstDiff(p.x1, p.x2))
+		}
+	}
+}
+
 // runOnce executes a small end-to-end scenario — dynamic churn keeps
 // membership flips, rejoin timers, and C&C reaping all active — and
 // returns every serialized artifact. The profiler's wall clock is
 // replaced with a deterministic counter so the report's observability
 // summary is seed-determined too.
-func runOnce(t *testing.T, seed int64) (reportJSON, traceJSONL, chromeTrace []byte) {
+func runOnce(t *testing.T, seed int64) artifacts {
 	return runOnceQueue(t, seed, "")
 }
 
-func runOnceQueue(t *testing.T, seed int64, queue sim.QueueKind) (reportJSON, traceJSONL, chromeTrace []byte) {
+func runOnceQueue(t *testing.T, seed int64, queue sim.QueueKind) artifacts {
 	return runOnceFaults(t, seed, queue, faults.Config{})
 }
 
-func runOnceFaults(t *testing.T, seed int64, queue sim.QueueKind, fc faults.Config) (reportJSON, traceJSONL, chromeTrace []byte) {
+func runOnceFaults(t *testing.T, seed int64, queue sim.QueueKind, fc faults.Config) artifacts {
 	t.Helper()
 	cfg := core.DefaultConfig(10)
 	cfg.Seed = seed
@@ -50,18 +81,24 @@ func runOnceFaults(t *testing.T, seed int64, queue sim.QueueKind, fc faults.Conf
 		t.Fatal(err)
 	}
 
-	var rep bytes.Buffer
-	if err := report.FromResults(cfg, r, true).WriteJSON(&rep); err != nil {
-		t.Fatal(err)
+	var out artifacts
+	for _, w := range []struct {
+		dst   *[]byte
+		write func(io.Writer) error
+	}{
+		{&out.rep, report.FromResults(cfg, r, true).WriteJSON},
+		{&out.jsonl, s.Obs().Trace.WriteJSONL},
+		{&out.chrome, s.Obs().Trace.WriteChromeTrace},
+		{&out.flows, s.Flows().WriteCSV},
+		{&out.ts, s.Windows().WriteCSV},
+	} {
+		var buf bytes.Buffer
+		if err := w.write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		*w.dst = buf.Bytes()
 	}
-	var jsonl, chrome bytes.Buffer
-	if err := s.Obs().Trace.WriteJSONL(&jsonl); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Obs().Trace.WriteChromeTrace(&chrome); err != nil {
-		t.Fatal(err)
-	}
-	return rep.Bytes(), jsonl.Bytes(), chrome.Bytes()
+	return out
 }
 
 // TestSameSeedByteIdenticalArtifacts is the executable form of the
@@ -70,24 +107,18 @@ func runOnceFaults(t *testing.T, seed int64, queue sim.QueueKind, fc faults.Conf
 // exports. Any wall-clock read, global-RNG draw, or map-iteration
 // leak in a live path shows up here as a diff.
 func TestSameSeedByteIdenticalArtifacts(t *testing.T) {
-	rep1, jsonl1, chrome1 := runOnce(t, 1234)
-	rep2, jsonl2, chrome2 := runOnce(t, 1234)
-
-	if !bytes.Equal(rep1, rep2) {
-		t.Errorf("same-seed runs produced different report JSON:\n%s", firstDiff(rep1, rep2))
-	}
-	if !bytes.Equal(jsonl1, jsonl2) {
-		t.Errorf("same-seed runs produced different trace JSONL:\n%s", firstDiff(jsonl1, jsonl2))
-	}
-	if !bytes.Equal(chrome1, chrome2) {
-		t.Errorf("same-seed runs produced different Chrome traces:\n%s", firstDiff(chrome1, chrome2))
-	}
+	a1 := runOnce(t, 1234)
+	a2 := runOnce(t, 1234)
+	a1.equal(t, a2, "same-seed runs")
 
 	// A different seed must actually change the run, or the assertions
 	// above prove nothing.
-	rep3, _, _ := runOnce(t, 99)
-	if bytes.Equal(rep1, rep3) {
+	a3 := runOnce(t, 99)
+	if bytes.Equal(a1.rep, a3.rep) {
 		t.Error("different seeds produced identical report JSON; scenario is not seed-sensitive")
+	}
+	if bytes.Equal(a1.flows, a3.flows) {
+		t.Error("different seeds produced identical flow CSV; scenario is not seed-sensitive")
 	}
 }
 
@@ -97,47 +128,45 @@ func TestSameSeedByteIdenticalArtifacts(t *testing.T) {
 // exported artifact. This is what makes SchedQueue a pure performance
 // knob.
 func TestQueueBackendsByteIdenticalArtifacts(t *testing.T) {
-	repH, jsonlH, chromeH := runOnceQueue(t, 1234, sim.QueueHeap)
-	repC, jsonlC, chromeC := runOnceQueue(t, 1234, sim.QueueCalendar)
-
-	if !bytes.Equal(repH, repC) {
-		t.Errorf("heap vs calendar report JSON differs:\n%s", firstDiff(repH, repC))
-	}
-	if !bytes.Equal(jsonlH, jsonlC) {
-		t.Errorf("heap vs calendar trace JSONL differs:\n%s", firstDiff(jsonlH, jsonlC))
-	}
-	if !bytes.Equal(chromeH, chromeC) {
-		t.Errorf("heap vs calendar Chrome traces differ:\n%s", firstDiff(chromeH, chromeC))
-	}
+	aH := runOnceQueue(t, 1234, sim.QueueHeap)
+	aC := runOnceQueue(t, 1234, sim.QueueCalendar)
+	aH.equal(t, aC, "heap vs calendar")
 }
 
 // TestFaultFreeArtifactsMatchPrePRGolden pins the zero-cost guarantee
 // of the fault-injection subsystem: with a zero Faults config, every
-// artifact of the runOnce scenario is byte-identical to what the tree
-// produced before the subsystem existed. The hashes were captured by
-// running this exact scenario at the commit preceding internal/faults.
+// artifact of the runOnce scenario is byte-identical across commits.
+// The hashes were last re-captured when the telemetry pipeline landed
+// (it added spans, report fields, and the flow/time-series artifacts).
 // If an intentional change elsewhere moves these bytes, re-capture the
 // hashes — but a diff caused by a faults-related change means the
 // zero-value path is no longer free.
 func TestFaultFreeArtifactsMatchPrePRGolden(t *testing.T) {
 	const (
-		goldenReport = "7a9bc32e46e56c536be942833f31c760381f6c961d1ac9e2838bddb78c7caa85"
-		goldenJSONL  = "c48e361015aa42a6d660c98db52acabe5c8197b653b36b56a284efb89a27f137"
-		goldenChrome = "04bd4924e3c9b012bfdbd808db6d9d555c557d6a669f4c5c7246194abab0a219"
+		goldenReport = "9a9139495cb876de1b5e62ae1ac54d4f184db10a9f42df0d86a324a745163e9d"
+		goldenJSONL  = "c24846b7417beaff6187f7d773a947794787549bf7f9d276cb43fcc0998bbbaf"
+		goldenChrome = "bff4369df41a7fe5dad76004f85ec0b2507cf3b399e102ed9b0bcf30646c5609"
+		goldenFlows  = "80f8bdda238bcba2b2aeeedd8f97ba15160181d5f87f586b6b6150942b05c801"
+		goldenTS     = "b9210f3ddc3d9f96f5c82113f16a54225d3a110c67500e9b33910abd6423e45e"
 	)
 	hash := func(b []byte) string {
 		sum := sha256.Sum256(b)
 		return hex.EncodeToString(sum[:])
 	}
-	rep, jsonl, chrome := runOnce(t, 1234)
-	if got := hash(rep); got != goldenReport {
-		t.Errorf("report JSON hash = %s, want %s", got, goldenReport)
-	}
-	if got := hash(jsonl); got != goldenJSONL {
-		t.Errorf("trace JSONL hash = %s, want %s", got, goldenJSONL)
-	}
-	if got := hash(chrome); got != goldenChrome {
-		t.Errorf("Chrome trace hash = %s, want %s", got, goldenChrome)
+	a := runOnce(t, 1234)
+	for _, g := range []struct {
+		name, want string
+		got        []byte
+	}{
+		{"report JSON", goldenReport, a.rep},
+		{"trace JSONL", goldenJSONL, a.jsonl},
+		{"Chrome trace", goldenChrome, a.chrome},
+		{"flow CSV", goldenFlows, a.flows},
+		{"time-series CSV", goldenTS, a.ts},
+	} {
+		if got := hash(g.got); got != g.want {
+			t.Errorf("%s hash = %s, want %s", g.name, got, g.want)
+		}
 	}
 }
 
@@ -147,24 +176,16 @@ func TestFaultFreeArtifactsMatchPrePRGolden(t *testing.T) {
 // serialize byte-identically — and the scenario must actually inject.
 func TestFaultScenarioByteIdenticalArtifacts(t *testing.T) {
 	fc := faults.AtIntensity(0.8)
-	rep1, jsonl1, chrome1 := runOnceFaults(t, 1234, "", fc)
-	rep2, jsonl2, chrome2 := runOnceFaults(t, 1234, "", fc)
+	a1 := runOnceFaults(t, 1234, "", fc)
+	a2 := runOnceFaults(t, 1234, "", fc)
+	a1.equal(t, a2, "same-seed fault runs")
 
-	if !bytes.Equal(rep1, rep2) {
-		t.Errorf("same-seed fault runs produced different report JSON:\n%s", firstDiff(rep1, rep2))
-	}
-	if !bytes.Equal(jsonl1, jsonl2) {
-		t.Errorf("same-seed fault runs produced different trace JSONL:\n%s", firstDiff(jsonl1, jsonl2))
-	}
-	if !bytes.Equal(chrome1, chrome2) {
-		t.Errorf("same-seed fault runs produced different Chrome traces:\n%s", firstDiff(chrome1, chrome2))
-	}
-	if !bytes.Contains(rep1, []byte(`"faults"`)) {
+	if !bytes.Contains(a1.rep, []byte(`"faults"`)) {
 		t.Error("fault scenario left no stats in the report")
 	}
 	// The scenario must perturb the run relative to fault-free.
-	repFree, _, _ := runOnce(t, 1234)
-	if bytes.Equal(rep1, repFree) {
+	free := runOnce(t, 1234)
+	if bytes.Equal(a1.rep, free.rep) {
 		t.Error("intensity-0.8 scenario changed nothing")
 	}
 }

@@ -87,6 +87,14 @@ type Results struct {
 	// Obs condenses the run's observability data (trace volume,
 	// scheduler load breakdown, wall-clock profile).
 	Obs obs.Summary
+
+	// Flows aggregates the NetFlow-style records exported during the
+	// run, broken down by ground-truth label.
+	Flows obs.FlowStats
+
+	// Phases summarizes kill-chain (and fault) span latencies: one row
+	// per phase name with count/min/mean/max durations.
+	Phases []obs.PhaseStat
 }
 
 // InfectionRate reports the paper's R2 metric: the fraction of
@@ -96,6 +104,17 @@ func (r *Results) InfectionRate() float64 {
 		return 0
 	}
 	return float64(r.Infected) / float64(r.DevsTotal)
+}
+
+// MeanPhaseSecs reports the mean duration of the named kill-chain
+// phase, and whether any span of that phase was recorded.
+func (r *Results) MeanPhaseSecs(phase string) (float64, bool) {
+	for i := range r.Phases {
+		if r.Phases[i].Phase == phase {
+			return r.Phases[i].MeanSecs, true
+		}
+	}
+	return 0, false
 }
 
 // Summary renders a human-readable report.
@@ -117,6 +136,18 @@ func (r *Results) Summary() string {
 	}
 	fmt.Fprintf(&b, "est. pre-attack mem: %.2f GB, attack mem: %.2f GB, attack time: %s\n",
 		r.Usage.PreAttackMemGB, r.Usage.AttackMemGB, r.Usage.AttackTimeMMSS())
+	fmt.Fprintf(&b, "flows exported:     %d (%d packets, %d bytes)\n",
+		r.Flows.Flows, r.Flows.Packets, r.Flows.Bytes)
+	for _, ls := range r.Flows.Labels {
+		fmt.Fprintf(&b, "  %-20s %d flows, %d packets\n", ls.Label, ls.Flows, ls.Packets)
+	}
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(&b, "kill-chain phases:\n")
+		for _, p := range r.Phases {
+			fmt.Fprintf(&b, "  %-20s n=%d min=%.3fs mean=%.3fs max=%.3fs\n",
+				p.Phase, p.Count, p.MinSecs, p.MeanSecs, p.MaxSecs)
+		}
+	}
 	fmt.Fprintf(&b, "observability:      %d spans, %d trace events, %d kernel events (peak pending %d)\n",
 		r.Obs.TraceSpans, r.Obs.TraceEvents, r.Obs.EventsDelivered, r.Obs.PeakPending)
 	for _, src := range r.Obs.TopSources {

@@ -81,6 +81,20 @@ type Simulation struct {
 	recruitSpan obs.SpanID
 	attackSpan  obs.SpanID
 
+	// Telemetry pipeline: exported flow records, windowed time series,
+	// and the per-bot kill-chain bookkeeping behind the phase spans.
+	flowBuf *obs.FlowBuffer
+	windows *obs.Windows
+	// firstAttempt records when each Dev first parsed an attacker
+	// payload; firstReport when the loader first learned of a victim.
+	// They anchor the "exploit" and "load" kill-chain spans.
+	firstAttempt map[string]sim.Time
+	firstReport  map[netip.Addr]sim.Time
+	// winCmdSum/winCmdN accumulate command→flood latencies inside the
+	// current window; the cnc_cmd_latency_s column drains them.
+	winCmdSum float64
+	winCmdN   int
+
 	results        Results
 	infectedDevs   map[string]bool
 	registeredEver map[netip.Addr]bool
@@ -98,12 +112,17 @@ func New(cfg Config) (*Simulation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = sim.Second
+	}
 	s := &Simulation{
 		cfg:            cfg,
 		sched:          sim.NewSchedulerQueue(cfg.Seed, cfg.SchedQueue),
 		timeline:       metrics.NewTimeline(),
 		obs:            obs.New(),
 		devByAddr:      make(map[netip.Addr]*Dev),
+		firstAttempt:   make(map[string]sim.Time),
+		firstReport:    make(map[netip.Addr]sim.Time),
 		infectedDevs:   make(map[string]bool),
 		registeredEver: make(map[netip.Addr]bool),
 	}
@@ -148,7 +167,54 @@ func New(cfg Config) (*Simulation, error) {
 	if err := s.setupFaults(); err != nil {
 		return nil, err
 	}
+	s.setupTelemetry()
 	return s, nil
+}
+
+// setupTelemetry attaches the flow exporter (with ground-truth label
+// rules) and registers the windowed time-series columns. Runs after
+// deployment because the label rules need the attacker's addresses.
+func (s *Simulation) setupTelemetry() {
+	s.flowBuf = &obs.FlowBuffer{}
+	ft := s.net.EnableFlows(netsim.FlowConfig{
+		ActiveTimeout: s.cfg.FlowActiveTimeout,
+		IdleTimeout:   s.cfg.FlowIdleTimeout,
+		Sink:          s.flowBuf,
+	})
+	atk := s.attacker.Container.Node()
+	// Rule order matters: the C&C listens on port 23 — the telnet port —
+	// so the exact-endpoint C&C rule must precede the generic telnet
+	// rule, or bot↔C&C flows would be labeled "recruit".
+	ft.AddLabelRule(netsim.FlowLabelRule{
+		Endpoint: netip.AddrPortFrom(atk.Addr4(), mirai.CNCPort), Label: "cnc"})
+	ft.AddLabelRule(netsim.FlowLabelRule{
+		Endpoint: netip.AddrPortFrom(atk.Addr4(), mirai.ScanListenPort), Label: "recruit"})
+	ft.AddLabelRule(netsim.FlowLabelRule{Port: 23, Label: "recruit"})
+	// Remaining attacker traffic (DNS poisoning, DHCPv6 payloads, bot
+	// binary fetches) is the exploit-delivery plane.
+	ft.AddLabelRule(netsim.FlowLabelRule{Addr: atk.Addr4(), Label: "exploit"})
+	ft.AddLabelRule(netsim.FlowLabelRule{Addr: atk.Addr6(), Label: "exploit"})
+
+	w := obs.NewWindows(s.cfg.WindowSize)
+	w.Column("infected", func() float64 { return float64(s.results.Infected) })
+	w.DeltaColumn("new_infections", func() float64 { return float64(s.results.Infected) })
+	w.Column("bots_registered", func() float64 { return float64(s.results.BotsRegistered) })
+	w.DeltaColumn("net_tx_bytes", func() float64 { return float64(s.net.Stats().TxBytes) })
+	w.DeltaColumn("net_drops", func() float64 { return float64(s.net.Stats().Drops) })
+	w.DeltaColumn("sink_rx_bytes", func() float64 { return float64(s.sink.Series().TotalBytes()) })
+	w.Column("queue_depth", func() float64 { return float64(s.sched.Pending()) })
+	// Mean command→first-flood-packet latency over the window; reading
+	// drains the accumulator (documented side effect — Windows calls
+	// each reader exactly once per Sample).
+	w.Column("cnc_cmd_latency_s", func() float64 {
+		if s.winCmdN == 0 {
+			return 0
+		}
+		v := s.winCmdSum / float64(s.winCmdN)
+		s.winCmdSum, s.winCmdN = 0, 0
+		return v
+	})
+	s.windows = w
 }
 
 // setupFaults builds the fault injector when the config declares a
@@ -272,6 +338,15 @@ func (s *Simulation) Timeline() *metrics.Timeline { return s.timeline }
 // registry, scheduler profiler).
 func (s *Simulation) Obs() *obs.Obs { return s.obs }
 
+// Flows exposes the buffered flow records exported during the run.
+func (s *Simulation) Flows() *obs.FlowBuffer { return s.flowBuf }
+
+// FlowTable exposes the network's flow accountant.
+func (s *Simulation) FlowTable() *netsim.FlowTable { return s.net.Flows() }
+
+// Windows exposes the windowed time-series metrics.
+func (s *Simulation) Windows() *obs.Windows { return s.windows }
+
 func (s *Simulation) deployAttacker() error {
 	jitter := sim.Time(0)
 	if s.cfg.StartJitterPerDev > 0 {
@@ -284,9 +359,17 @@ func (s *Simulation) deployAttacker() error {
 			PayloadBytes: s.cfg.PayloadBytes,
 			StartJitter:  jitter,
 			OnAttackStart: func(addr netip.Addr) {
-				s.timeline.Record(s.sched.Now(), EventFloodStart, s.devName(addr))
-				s.obs.Trace.Event(s.sched.Now(), obs.CatCNC, "flood-start",
+				now := s.sched.Now()
+				s.timeline.Record(now, EventFloodStart, s.devName(addr))
+				s.obs.Trace.Event(now, obs.CatCNC, "flood-start",
 					obs.KV{K: "dev", V: s.devName(addr)})
+				if s.attackIssued {
+					at := s.results.AttackIssuedAt
+					s.obs.Trace.RecordSpan(at, now, obs.CatKillChain, "attack",
+						obs.KV{K: "dev", V: s.devName(addr)})
+					s.winCmdSum += (now - at).Seconds()
+					s.winCmdN++
+				}
 			},
 		},
 		CNC: mirai.CNCConfig{
@@ -324,18 +407,36 @@ func (s *Simulation) deployAttacker() error {
 	if s.cfg.Vector == VectorCredentials {
 		s.loader = mirai.NewLoader(mirai.LoaderConfig{
 			InfectionCommand: exploit.InfectionCommand(atk.ScriptURL()),
+			OnReport: func(victim netip.Addr) {
+				if _, seen := s.firstReport[victim]; seen {
+					return
+				}
+				now := s.sched.Now()
+				s.firstReport[victim] = now
+				// Scan phase: run start → a scanner first cracked the
+				// victim and reported it.
+				s.obs.Trace.RecordSpan(0, now, obs.CatKillChain, "scan",
+					obs.KV{K: "dev", V: s.devName(victim)})
+			},
 			OnLoaded: func(victim netip.Addr) {
 				dev, ok := s.devByAddr[victim]
 				if !ok {
 					return
 				}
 				if !s.infectedDevs[dev.name] {
+					now := s.sched.Now()
 					s.infectedDevs[dev.name] = true
 					s.results.Infected++
 					s.obs.Metrics.Counter("infections_total", "Devs recruited into the botnet").Inc()
-					s.timeline.Record(s.sched.Now(), EventLoaded, dev.name)
-					s.obs.Trace.Event(s.sched.Now(), obs.CatExploit, "exploit-success",
+					s.timeline.Record(now, EventLoaded, dev.name)
+					s.obs.Trace.Event(now, obs.CatExploit, "exploit-success",
 						obs.KV{K: "dev", V: dev.name}, obs.KV{K: "channel", V: "loader"})
+					if at, ok := s.firstReport[victim]; ok {
+						s.obs.Trace.RecordSpan(at, now, obs.CatKillChain, "load",
+							obs.KV{K: "dev", V: dev.name})
+					}
+					s.obs.Trace.RecordSpan(0, now, obs.CatKillChain, "recruit",
+						obs.KV{K: "dev", V: dev.name})
 				}
 			},
 		})
@@ -538,6 +639,9 @@ func (s *Simulation) outcomeHook(dev *Dev) func(procvm.HijackOutcome) {
 	return func(out procvm.HijackOutcome) {
 		s.results.ExploitAttempts++
 		ctrAttempts.Inc()
+		if _, ok := s.firstAttempt[dev.name]; !ok {
+			s.firstAttempt[dev.name] = s.sched.Now()
+		}
 		if out.Hijacked {
 			s.results.Hijacked++
 			ctrHijacked.Inc()
@@ -545,12 +649,19 @@ func (s *Simulation) outcomeHook(dev *Dev) func(procvm.HijackOutcome) {
 		switch {
 		case out.ExecutedShell != "":
 			if !s.infectedDevs[dev.name] {
+				now := s.sched.Now()
 				s.infectedDevs[dev.name] = true
 				s.results.Infected++
 				ctrInfected.Inc()
-				s.timeline.Record(s.sched.Now(), EventExploitHit, dev.name)
-				s.obs.Trace.Event(s.sched.Now(), obs.CatExploit, "exploit-success",
+				s.timeline.Record(now, EventExploitHit, dev.name)
+				s.obs.Trace.Event(now, obs.CatExploit, "exploit-success",
 					obs.KV{K: "dev", V: dev.name}, obs.KV{K: "binary", V: string(dev.binary)})
+				// Exploit phase: first payload parsed → shell executed;
+				// recruit covers the whole chain from the run's start.
+				s.obs.Trace.RecordSpan(s.firstAttempt[dev.name], now,
+					obs.CatKillChain, "exploit", obs.KV{K: "dev", V: dev.name})
+				s.obs.Trace.RecordSpan(0, now, obs.CatKillChain, "recruit",
+					obs.KV{K: "dev", V: dev.name})
 			}
 		case out.Crashed():
 			s.results.Crashed++
@@ -615,10 +726,19 @@ func (s *Simulation) Run() (*Results, error) {
 	watcher.Source = "core.watcher"
 	watcher.Start()
 
+	// Windowed time-series sampler: one row per WindowSize of sim time.
+	windowTicker := sim.NewTicker(s.sched, s.cfg.WindowSize, func() {
+		s.windows.Sample(s.sched.Now())
+	})
+	windowTicker.Source = "obs.windows"
+	windowTicker.Start()
+
 	if err := s.sched.Run(s.cfg.SimDuration); err != nil {
 		return nil, fmt.Errorf("core: run: %w", err)
 	}
 	watcher.Stop()
+	windowTicker.Stop()
+	s.net.Flows().Stop()
 	s.churnCtl.Stop()
 	if s.faults != nil {
 		s.faults.Stop()
@@ -649,6 +769,11 @@ func (s *Simulation) issueAttack() {
 	if s.cfg.AttackOverIPv6 {
 		target = s.tserver.Addr6()
 	}
+	// Flood flows open after this instant; label them by their exact
+	// target endpoint so the exported dataset separates attack traffic
+	// from everything else.
+	s.net.Flows().AddLabelRule(netsim.FlowLabelRule{
+		Endpoint: netip.AddrPortFrom(target, s.cfg.AttackPort), Label: "attack"})
 	n := s.attacker.CNC.LaunchAttack(mirai.AttackCommand{
 		Method:   method,
 		Target:   target,
@@ -678,6 +803,12 @@ func (s *Simulation) issueAttack() {
 
 func (s *Simulation) assemble() {
 	r := &s.results
+	// Finalize the telemetry artifacts: emit the tail window (idempotent
+	// when the ticker already sampled this instant) and close every
+	// still-open flow so the dataset accounts each offered packet.
+	s.windows.Sample(s.sched.Now())
+	s.net.Flows().FlushAll(s.sched.Now())
+	r.Flows = s.flowBuf.Stats()
 	r.NetStats = s.net.Stats()
 	r.ChurnDepartures = s.churnCtl.Departures()
 	r.ChurnRejoins = s.churnCtl.Rejoins()
@@ -692,6 +823,7 @@ func (s *Simulation) assemble() {
 	// Seal the observability layer: close dangling phase spans, mirror
 	// the kernel counters into the registry, and condense a summary.
 	s.obs.Trace.CloseOpenSpans(s.sched.Now())
+	r.Phases = obs.SummarizePhases(s.obs.Trace.Spans(), obs.CatKillChain, faults.CatFault)
 	reg := s.obs.Metrics
 	reg.Gauge("sim_events_processed", "scheduler events executed this run").
 		Set(float64(s.sched.Processed()))

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"ddosim/internal/churn"
 	"ddosim/internal/core"
 	"ddosim/internal/hardware"
+	"ddosim/internal/sim"
 )
 
 // Options tunes a regeneration run.
@@ -28,6 +30,25 @@ type Options struct {
 	// trace_event, open in Perfetto) and <label>.metrics.prom
 	// (Prometheus text dump), one pair per experiment point × seed.
 	TraceDir string
+	// FlowsDir, when non-empty, writes <label>.flows.csv — the run's
+	// labeled flow-record dataset — per experiment point × seed.
+	FlowsDir string
+	// TSDir, when non-empty, writes <label>.ts.csv — the run's windowed
+	// time-series metrics — per experiment point × seed.
+	TSDir string
+	// Window overrides the time-series window size (default 1 s).
+	Window sim.Time
+}
+
+// Window converts a window size in (possibly fractional) seconds to
+// sim time, for callers that don't otherwise deal in sim.Time.
+func Window(secs float64) sim.Time { return sim.Time(secs * float64(sim.Second)) }
+
+// apply copies the option overrides that live inside the run config.
+func (o Options) apply(cfg *core.Config) {
+	if o.Window > 0 {
+		cfg.WindowSize = o.Window
+	}
 }
 
 func (o Options) seeds() []int64 {
@@ -37,35 +58,46 @@ func (o Options) seeds() []int64 {
 	return []int64{1, 2, 3}
 }
 
-// dumpObs writes one finished run's trace and metrics under
-// o.TraceDir; a no-op when no directory is configured.
+// dumpObs writes one finished run's observability artifacts: trace +
+// metrics under o.TraceDir, the labeled flow dataset under o.FlowsDir,
+// and the windowed time series under o.TSDir. Unset directories are
+// skipped.
 func (o Options) dumpObs(label string, s *core.Simulation) error {
-	if o.TraceDir == "" {
-		return nil
+	if o.TraceDir != "" {
+		if err := writeArtifact(o.TraceDir, label+".trace.json", s.Obs().Trace.WriteChromeTrace); err != nil {
+			return err
+		}
+		if err := writeArtifact(o.TraceDir, label+".metrics.prom", s.Obs().Metrics.WritePrometheus); err != nil {
+			return err
+		}
 	}
-	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+	if o.FlowsDir != "" {
+		if err := writeArtifact(o.FlowsDir, label+".flows.csv", s.Flows().WriteCSV); err != nil {
+			return err
+		}
+	}
+	if o.TSDir != "" {
+		if err := writeArtifact(o.TSDir, label+".ts.csv", s.Windows().WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeArtifact creates dir/name and streams write into it.
+func writeArtifact(dir, name string, write func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tf, err := os.Create(filepath.Join(o.TraceDir, label+".trace.json"))
+	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
 		return err
 	}
-	if err := s.Obs().Trace.WriteChromeTrace(tf); err != nil {
-		tf.Close()
+	if err := write(f); err != nil {
+		f.Close()
 		return err
 	}
-	if err := tf.Close(); err != nil {
-		return err
-	}
-	mf, err := os.Create(filepath.Join(o.TraceDir, label+".metrics.prom"))
-	if err != nil {
-		return err
-	}
-	if err := s.Obs().Metrics.WritePrometheus(mf); err != nil {
-		mf.Close()
-		return err
-	}
-	return mf.Close()
+	return f.Close()
 }
 
 func runAveraged(cfg core.Config, label string, opt Options) (float64, *core.Results, error) {
@@ -121,6 +153,7 @@ func Fig2(opt Options) ([]Fig2Row, error) {
 	return parallelMap(len(jobs), func(i int) (Fig2Row, error) {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.devs)
+		opt.apply(&cfg)
 		cfg.Churn = j.mode
 		avg, _, err := runAveraged(cfg, fmt.Sprintf("fig2-d%d-%s", j.devs, j.mode), opt)
 		if err != nil {
@@ -184,6 +217,7 @@ func Fig3(opt Options) ([]Fig3Row, error) {
 	return parallelMap(len(jobs), func(i int) (Fig3Row, error) {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.devs)
+		opt.apply(&cfg)
 		cfg.AttackDuration = j.dur
 		avg, _, err := runAveraged(cfg, fmt.Sprintf("fig3-d%d-dur%d", j.devs, j.dur), opt)
 		if err != nil {
@@ -251,6 +285,7 @@ func Table1(opt Options) ([]Table1Row, error) {
 	return parallelMap(len(devCounts), func(i int) (Table1Row, error) {
 		devs := devCounts[i]
 		cfg := core.DefaultConfig(devs)
+		opt.apply(&cfg)
 		cfg.Seed = opt.seeds()[0]
 		s, err := core.New(cfg)
 		if err != nil {
@@ -310,6 +345,7 @@ func Fig4(opt Options) ([]Fig4Row, error) {
 		var ddosimSum, hwSum float64
 		for _, seed := range opt.seeds() {
 			cfg := core.DefaultConfig(devs)
+			opt.apply(&cfg)
 			cfg.Seed = seed
 			s, err := core.New(cfg)
 			if err != nil {

@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"ddosim/internal/churn"
+	"ddosim/internal/obs"
 )
 
 var quickOpt = Options{Seeds: []int64{1}, Quick: true}
@@ -114,6 +117,45 @@ func TestRecruitmentQuick(t *testing.T) {
 	out := RenderRecruitment(rows)
 	if !strings.Contains(out, "memory-error") || !strings.Contains(out, "credentials") {
 		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestDumpObsWritesTelemetryArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{
+		Seeds:    []int64{1},
+		Quick:    true,
+		FlowsDir: filepath.Join(dir, "flows"),
+		TSDir:    filepath.Join(dir, "ts"),
+		Window:   Window(2),
+	}
+	rows, err := Table1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	flows, err := os.ReadFile(filepath.Join(opt.FlowsDir, "table1-d20-s1.flows.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(flows), obs.FlowCSVHeader+"\n") {
+		t.Fatalf("flow csv header = %q", strings.SplitN(string(flows), "\n", 2)[0])
+	}
+	if !strings.Contains(string(flows), ",attack,") {
+		t.Fatal("flow dataset carries no attack-labeled rows")
+	}
+	ts, err := os.ReadFile(filepath.Join(opt.TSDir, "table1-d20-s1.ts.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(ts), "window_start_s,infected,") {
+		t.Fatalf("ts csv header = %q", strings.SplitN(string(ts), "\n", 2)[0])
+	}
+	// A 2 s window over the 600 s horizon yields ~300 rows.
+	if n := strings.Count(string(ts), "\n"); n < 250 || n > 350 {
+		t.Fatalf("ts row count = %d, want ~300 (2s windows)", n)
 	}
 }
 

@@ -36,6 +36,7 @@ func Recruitment(opt Options) ([]RecruitRow, error) {
 		timed := 0
 		for _, seed := range opt.seeds() {
 			cfg := core.DefaultConfig(devs)
+			opt.apply(&cfg)
 			cfg.Seed = seed
 			cfg.Vector = vector
 			cfg.WeakCredFraction = frac
@@ -57,7 +58,7 @@ func Recruitment(opt Options) ([]RecruitRow, error) {
 				return RecruitRow{}, err
 			}
 			rateSum += r.InfectionRate()
-			if mean, ok := meanRecruitTime(r); ok {
+			if mean, ok := r.MeanPhaseSecs("recruit"); ok {
 				timeSum += mean
 				timed++
 			}
@@ -88,23 +89,6 @@ func Recruitment(opt Options) ([]RecruitRow, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
-}
-
-// meanRecruitTime averages the recruitment instants (exploit hits or
-// loader pushes) over the infected population.
-func meanRecruitTime(r *core.Results) (float64, bool) {
-	var sum float64
-	n := 0
-	for _, e := range r.Timeline.Events() {
-		if e.Kind == core.EventExploitHit || e.Kind == core.EventLoaded {
-			sum += e.At.Seconds()
-			n++
-		}
-	}
-	if n == 0 {
-		return 0, false
-	}
-	return sum / float64(n), true
 }
 
 // RenderRecruitment prints the comparison.

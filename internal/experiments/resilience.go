@@ -40,6 +40,7 @@ func Resilience(opt Options) ([]ResilienceRow, error) {
 		timed := 0
 		for _, seed := range opt.seeds() {
 			cfg := core.DefaultConfig(devs)
+			opt.apply(&cfg)
 			cfg.Seed = seed
 			cfg.Vector = core.VectorCredentials
 			cfg.SimDuration = 900 * sim.Second
@@ -60,7 +61,7 @@ func Resilience(opt Options) ([]ResilienceRow, error) {
 			}
 			dSum += r.DReceivedKbps
 			rateSum += r.InfectionRate()
-			if mean, ok := meanRecruitTime(r); ok {
+			if mean, ok := r.MeanPhaseSecs("recruit"); ok {
 				timeSum += mean
 				timed++
 			}

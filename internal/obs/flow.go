@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Flow-record export reasons, NetFlow-style: why the exporter closed
+// (or checkpointed) the record.
+const (
+	// FlowIdle: no packet for the idle timeout; the flow is gone.
+	FlowIdle = "idle"
+	// FlowActive: the flow outlived the active timeout and was
+	// checkpointed; accounting continues in a fresh record.
+	FlowActive = "active"
+	// FlowFinal: the run ended with the flow still live.
+	FlowFinal = "final"
+	// FlowEvict: the flow table hit its capacity and evicted the
+	// oldest flow to make room.
+	FlowEvict = "evict"
+)
+
+// FlowRecord is one exported NetFlow-v5-style record: unidirectional
+// per-(src,dst,proto,ports) accounting over an interval of simulated
+// time, plus the ground-truth label the simulation assigned when the
+// flow was created ("attack", "cnc", "recruit", "exploit", "benign").
+// Timestamps are microseconds of simulated time, so records are a pure
+// function of the run.
+type FlowRecord struct {
+	StartUS  int64
+	EndUS    int64
+	Proto    string
+	Src      netip.AddrPort
+	Dst      netip.AddrPort
+	Packets  uint64
+	Bytes    uint64
+	TCPFlags uint8
+	Label    string
+	Reason   string
+}
+
+// FlowSink receives batches of exported flow records. The batch slice
+// is owned by the exporter and reused: implementations must copy what
+// they keep and must not retain the slice.
+type FlowSink interface {
+	ExportFlows(batch []FlowRecord)
+}
+
+// FlowBuffer is the standard FlowSink: it accumulates copies of every
+// exported record in export order and renders them as a CSV or JSONL
+// dataset artifact. Export order is deterministic, so two same-seed
+// runs write byte-identical artifacts. All methods are nil-safe.
+type FlowBuffer struct {
+	recs    []FlowRecord
+	batches int
+}
+
+var _ FlowSink = (*FlowBuffer)(nil)
+
+// ExportFlows implements FlowSink by copying the batch.
+func (b *FlowBuffer) ExportFlows(batch []FlowRecord) {
+	if b == nil {
+		return
+	}
+	b.recs = append(b.recs, batch...)
+	b.batches++
+}
+
+// Len reports how many records were exported.
+func (b *FlowBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.recs)
+}
+
+// Batches reports how many export batches arrived — exporters batch
+// records, so this stays well under Len.
+func (b *FlowBuffer) Batches() int {
+	if b == nil {
+		return 0
+	}
+	return b.batches
+}
+
+// Records returns the accumulated records in export order. The slice
+// is shared; callers must not mutate it.
+func (b *FlowBuffer) Records() []FlowRecord {
+	if b == nil {
+		return nil
+	}
+	return b.recs
+}
+
+// FlowStats condenses a flow dataset for reports.
+type FlowStats struct {
+	Flows   int             `json:"flows"`
+	Packets uint64          `json:"packets"`
+	Bytes   uint64          `json:"bytes"`
+	Labels  []FlowLabelStat `json:"labels,omitempty"`
+}
+
+// FlowLabelStat aggregates one ground-truth label class.
+type FlowLabelStat struct {
+	Label   string `json:"label"`
+	Flows   int    `json:"flows"`
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// Stats aggregates the buffer, with per-label classes sorted by label
+// name for deterministic serialization.
+func (b *FlowBuffer) Stats() FlowStats {
+	var s FlowStats
+	if b == nil {
+		return s
+	}
+	byLabel := make(map[string]*FlowLabelStat)
+	for i := range b.recs {
+		r := &b.recs[i]
+		s.Flows++
+		s.Packets += r.Packets
+		s.Bytes += r.Bytes
+		ls := byLabel[r.Label]
+		if ls == nil {
+			ls = &FlowLabelStat{Label: r.Label}
+			byLabel[r.Label] = ls
+		}
+		ls.Flows++
+		ls.Packets += r.Packets
+		ls.Bytes += r.Bytes
+	}
+	for _, ls := range byLabel { //simlint:allow maporder(collect-then-sort: label classes are sorted before return)
+		s.Labels = append(s.Labels, *ls)
+	}
+	sort.Slice(s.Labels, func(i, j int) bool { return s.Labels[i].Label < s.Labels[j].Label })
+	return s
+}
+
+// FlowCSVHeader is the first line of the CSV artifact.
+const FlowCSVHeader = "start_us,end_us,proto,src,dst,packets,bytes,tcp_flags,label,reason"
+
+// WriteCSV renders the dataset as CSV, one record per line, in export
+// order.
+func (b *FlowBuffer) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(FlowCSVHeader)
+	sb.WriteByte('\n')
+	if b != nil {
+		for i := range b.recs {
+			r := &b.recs[i]
+			fmt.Fprintf(&sb, "%d,%d,%s,%s,%s,%d,%d,%d,%s,%s\n",
+				r.StartUS, r.EndUS, r.Proto, r.Src, r.Dst,
+				r.Packets, r.Bytes, r.TCPFlags, r.Label, r.Reason)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// flowJSON fixes the JSONL field order.
+type flowJSON struct {
+	StartUS  int64  `json:"start_us"`
+	EndUS    int64  `json:"end_us"`
+	Proto    string `json:"proto"`
+	Src      string `json:"src"`
+	Dst      string `json:"dst"`
+	Packets  uint64 `json:"packets"`
+	Bytes    uint64 `json:"bytes"`
+	TCPFlags uint8  `json:"tcp_flags"`
+	Label    string `json:"label"`
+	Reason   string `json:"reason"`
+}
+
+// WriteJSONL renders the dataset as JSON Lines, one record per line,
+// in export order.
+func (b *FlowBuffer) WriteJSONL(w io.Writer) error {
+	if b == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for i := range b.recs {
+		r := &b.recs[i]
+		row := flowJSON{
+			StartUS: r.StartUS, EndUS: r.EndUS, Proto: r.Proto,
+			Src: r.Src.String(), Dst: r.Dst.String(),
+			Packets: r.Packets, Bytes: r.Bytes, TCPFlags: r.TCPFlags,
+			Label: r.Label, Reason: r.Reason,
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

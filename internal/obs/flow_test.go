@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func mkRec(startUS, endUS int64, label string, pkts, bytes uint64) FlowRecord {
+	return FlowRecord{
+		StartUS: startUS, EndUS: endUS, Proto: "udp",
+		Src:     netip.MustParseAddrPort("10.0.0.2:4000"),
+		Dst:     netip.MustParseAddrPort("10.0.0.1:9999"),
+		Packets: pkts, Bytes: bytes, Label: label, Reason: FlowIdle,
+	}
+}
+
+func TestFlowBufferAccumulatesCopies(t *testing.T) {
+	var b FlowBuffer
+	batch := []FlowRecord{mkRec(0, 10, "benign", 1, 100), mkRec(5, 20, "attack", 2, 200)}
+	b.ExportFlows(batch)
+	batch[0].Packets = 99 // sink must have copied
+	b.ExportFlows(batch[:1])
+
+	if b.Len() != 3 || b.Batches() != 2 {
+		t.Fatalf("len=%d batches=%d, want 3/2", b.Len(), b.Batches())
+	}
+	if b.Records()[0].Packets != 1 {
+		t.Fatalf("buffer aliases the exporter batch: %+v", b.Records()[0])
+	}
+}
+
+func TestFlowBufferStats(t *testing.T) {
+	var b FlowBuffer
+	b.ExportFlows([]FlowRecord{
+		mkRec(0, 10, "benign", 1, 100),
+		mkRec(0, 10, "attack", 4, 400),
+		mkRec(0, 10, "attack", 6, 600),
+	})
+	s := b.Stats()
+	if s.Flows != 3 || s.Packets != 11 || s.Bytes != 1100 {
+		t.Fatalf("stats %+v", s)
+	}
+	if len(s.Labels) != 2 || s.Labels[0].Label != "attack" || s.Labels[1].Label != "benign" {
+		t.Fatalf("labels not sorted: %+v", s.Labels)
+	}
+	if s.Labels[0].Flows != 2 || s.Labels[0].Packets != 10 || s.Labels[0].Bytes != 1000 {
+		t.Fatalf("attack class %+v", s.Labels[0])
+	}
+}
+
+func TestFlowBufferWriteCSV(t *testing.T) {
+	var b FlowBuffer
+	b.ExportFlows([]FlowRecord{mkRec(1_000_000, 2_000_000, "attack", 3, 300)})
+	var sb strings.Builder
+	if err := b.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := FlowCSVHeader + "\n" +
+		"1000000,2000000,udp,10.0.0.2:4000,10.0.0.1:9999,3,300,0,attack,idle\n"
+	if sb.String() != want {
+		t.Fatalf("csv:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestFlowBufferWriteJSONL(t *testing.T) {
+	var b FlowBuffer
+	b.ExportFlows([]FlowRecord{mkRec(0, 10, "benign", 1, 64)})
+	var sb strings.Builder
+	if err := b.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"start_us":0,"end_us":10,"proto":"udp","src":"10.0.0.2:4000","dst":"10.0.0.1:9999","packets":1,"bytes":64,"tcp_flags":0,"label":"benign","reason":"idle"}` + "\n"
+	if sb.String() != want {
+		t.Fatalf("jsonl:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestFlowBufferNilSafe(t *testing.T) {
+	var b *FlowBuffer
+	b.ExportFlows([]FlowRecord{mkRec(0, 1, "x", 1, 1)})
+	if b.Len() != 0 || b.Batches() != 0 || b.Records() != nil {
+		t.Fatal("nil buffer should be inert")
+	}
+	if s := b.Stats(); s.Flows != 0 {
+		t.Fatalf("nil stats %+v", s)
+	}
+	var sb strings.Builder
+	if err := b.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != FlowCSVHeader+"\n" {
+		t.Fatalf("nil csv %q", sb.String())
+	}
+	if err := b.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

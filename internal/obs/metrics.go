@@ -7,12 +7,16 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically-increasing uint64 metric. Methods are
-// nil-safe.
+// nil-safe and safe for concurrent use: the simulation kernel is
+// single-threaded, but exporters (Prometheus scrapes, snapshots) may
+// read from other goroutines.
 type Counter struct {
-	v uint64
+	v atomic.Uint64
 }
 
 // Inc adds one.
@@ -23,7 +27,7 @@ func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
 	}
-	c.v += n
+	c.v.Add(n)
 }
 
 // Value reports the current count.
@@ -31,12 +35,15 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a settable float64 metric. Methods are nil-safe.
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is a settable float64 metric. Methods are nil-safe and safe
+// for concurrent use (the value is an atomically-updated bit pattern).
 type Gauge struct {
-	v float64
+	bits atomic.Uint64
 }
 
 // Set replaces the value.
@@ -44,7 +51,7 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.v = v
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Add shifts the value by delta.
@@ -52,7 +59,13 @@ func (g *Gauge) Add(delta float64) {
 	if g == nil {
 		return
 	}
-	g.v += delta
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
 }
 
 // Value reports the current value.
@@ -60,12 +73,16 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
+func (g *Gauge) reset() { g.bits.Store(0) }
+
 // Histogram buckets observations by upper bound, Prometheus-style
-// (cumulative buckets plus +Inf, sum, and count).
+// (cumulative buckets plus +Inf, sum, and count). Methods are nil-safe
+// and safe for concurrent use.
 type Histogram struct {
+	mu     sync.Mutex
 	bounds []float64
 	counts []uint64 // len(bounds)+1; last is +Inf
 	sum    float64
@@ -77,10 +94,12 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.sum += v
 	h.total++
+	h.mu.Unlock()
 }
 
 // Count reports how many samples were observed.
@@ -88,6 +107,8 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.total
 }
 
@@ -96,15 +117,38 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.sum
+}
+
+// snapshot returns a consistent (bounds, cumulative-free counts, sum,
+// total) view under the histogram's lock.
+func (h *Histogram) snapshot() (bounds []float64, counts []uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts = make([]uint64, len(h.counts))
+	copy(counts, h.counts)
+	return h.bounds, counts, h.sum, h.total
+}
+
+func (h *Histogram) reset() {
+	h.mu.Lock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum, h.total = 0, 0
+	h.mu.Unlock()
 }
 
 // Registry holds named metrics. Get-or-create accessors make callers
 // independent of registration order; names follow Prometheus
 // conventions (snake_case, _total suffix on counters). Methods are
-// nil-safe: a nil registry hands out nil metrics, whose methods are
-// no-ops.
+// nil-safe (a nil registry hands out nil metrics, whose methods are
+// no-ops) and safe for concurrent use: the maps are mutex-guarded, and
+// the metric values themselves are atomic or locked.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -126,6 +170,8 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -140,6 +186,8 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -155,6 +203,8 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
 		bs := make([]float64, len(bounds))
@@ -172,7 +222,10 @@ func (r *Registry) CounterValue(name string) uint64 {
 	if r == nil {
 		return 0
 	}
-	return r.counters[name].Value()
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	return c.Value()
 }
 
 // GaugeValue reports a gauge's value without creating it.
@@ -180,7 +233,67 @@ func (r *Registry) GaugeValue(name string) float64 {
 	if r == nil {
 		return 0
 	}
-	return r.gauges[name].Value()
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	return g.Value()
+}
+
+// Reset zeroes every registered metric, keeping registrations (names,
+// help text, histogram bounds) intact. Handles previously returned by
+// the get-or-create accessors remain valid.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters { //simlint:allow maporder(order-independent: each metric is zeroed in place)
+		c.reset()
+	}
+	for _, g := range r.gauges { //simlint:allow maporder(order-independent: each metric is zeroed in place)
+		g.reset()
+	}
+	for _, h := range r.hists { //simlint:allow maporder(order-independent: each metric is zeroed in place)
+		h.reset()
+	}
+}
+
+// MetricPoint is one metric's value in a registry snapshot.
+type MetricPoint struct {
+	Name  string
+	Type  string // "counter" | "gauge" | "histogram"
+	Value float64
+	Count uint64 // histogram sample count; 0 otherwise
+}
+
+// Snapshot captures every metric's current value, sorted by name (and,
+// for the pathological case of one name registered as several types,
+// by type) so the result is deterministic.
+func (r *Registry) Snapshot() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n, c := range r.counters { //simlint:allow maporder(collect-then-sort: points are sorted before return)
+		out = append(out, MetricPoint{Name: n, Type: "counter", Value: float64(c.Value())})
+	}
+	for n, g := range r.gauges { //simlint:allow maporder(collect-then-sort: points are sorted before return)
+		out = append(out, MetricPoint{Name: n, Type: "gauge", Value: g.Value()})
+	}
+	for n, h := range r.hists { //simlint:allow maporder(collect-then-sort: points are sorted before return)
+		_, _, sum, total := h.snapshot()
+		out = append(out, MetricPoint{Name: n, Type: "histogram", Value: sum, Count: total})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
 }
 
 func formatFloat(v float64) string {
@@ -191,20 +304,32 @@ func formatFloat(v float64) string {
 }
 
 // WritePrometheus dumps every metric in the Prometheus text exposition
-// format, sorted by name so output is deterministic.
+// format, sorted by name so output is deterministic. A name registered
+// as more than one metric type (a misuse, but possible) is emitted
+// exactly once, preferring counter, then gauge, then histogram —
+// previously such a name was dumped once per type, destabilizing the
+// artifact.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
 	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
-	for n := range r.counters {
-		names = append(names, n)
+	seen := make(map[string]bool, cap(names))
+	addName := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
 	}
-	for n := range r.gauges {
-		names = append(names, n)
+	for n := range r.counters { //simlint:allow maporder(collect-then-sort: names are sorted before rendering)
+		addName(n)
 	}
-	for n := range r.hists {
-		names = append(names, n)
+	for n := range r.gauges { //simlint:allow maporder(collect-then-sort: names are sorted before rendering)
+		addName(n)
+	}
+	for n := range r.hists { //simlint:allow maporder(collect-then-sort: names are sorted before rendering)
+		addName(n)
 	}
 	sort.Strings(names)
 
@@ -215,22 +340,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		switch {
 		case r.counters[n] != nil:
-			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, r.counters[n].v)
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, r.counters[n].Value())
 		case r.gauges[n] != nil:
-			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(r.gauges[n].v))
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(r.gauges[n].Value()))
 		default:
-			h := r.hists[n]
+			bounds, counts, sum, total := r.hists[n].snapshot()
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
 			var cum uint64
-			for i, bound := range h.bounds {
-				cum += h.counts[i]
+			for i, bound := range bounds {
+				cum += counts[i]
 				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, formatFloat(bound), cum)
 			}
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.total)
-			fmt.Fprintf(&b, "%s_sum %s\n", n, formatFloat(h.sum))
-			fmt.Fprintf(&b, "%s_count %d\n", n, h.total)
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, total)
+			fmt.Fprintf(&b, "%s_sum %s\n", n, formatFloat(sum))
+			fmt.Fprintf(&b, "%s_count %d\n", n, total)
 		}
 	}
+	r.mu.Unlock()
 	_, err := io.WriteString(w, b.String())
 	return err
 }

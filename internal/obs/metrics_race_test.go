@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentResetSnapshot hammers the registry from many
+// goroutines — writers updating metrics, readers snapshotting, dumping
+// Prometheus text, and resetting — and relies on -race to flag any
+// unsynchronized access.
+func TestRegistryConcurrentResetSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "events")
+	g := r.Gauge("depth", "queue depth")
+	h := r.Histogram("latency_s", "latency", []float64{0.1, 1, 10})
+
+	const writers = 4
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				g.Add(0.5)
+				h.Observe(float64(i%20) / 2)
+				// Get-or-create from several goroutines too.
+				r.Counter("events_total", "events").Add(1)
+				_ = r.CounterValue("events_total")
+				_ = r.GaugeValue("depth")
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = r.Snapshot()
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+			if i%50 == 0 {
+				r.Reset()
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestRegistryResetKeepsRegistrations checks Reset zeroes values but
+// leaves names, help, and handles intact.
+func TestRegistryResetKeepsRegistrations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "help a")
+	g := r.Gauge("b", "help b")
+	h := r.Histogram("c", "help c", []float64{1})
+	c.Add(7)
+	g.Set(3.5)
+	h.Observe(0.5)
+
+	r.Reset()
+
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("metrics not zeroed: %d %v %d %v", c.Value(), g.Value(), h.Count(), h.Sum())
+	}
+	// Handles still registered: updating the old handle is visible
+	// through the registry.
+	c.Inc()
+	if r.CounterValue("a_total") != 1 {
+		t.Fatal("counter handle detached after Reset")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# HELP a_total help a", "# HELP b help b", "# HELP c help c"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusDedupesNames pins the fix for the map-order /
+// duplicate-emission hazard: a name registered as two metric types
+// must be dumped exactly once.
+func TestWritePrometheusDedupesNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "as counter").Add(2)
+	r.Gauge("dup", "as gauge").Set(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE dup "); n != 1 {
+		t.Fatalf("name dumped %d times:\n%s", n, out)
+	}
+	if !strings.Contains(out, "# TYPE dup counter") {
+		t.Fatalf("counter should win the type conflict:\n%s", out)
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz", "").Set(1)
+	r.Counter("aa_total", "").Add(2)
+	r.Histogram("mm", "", []float64{1}).Observe(0.5)
+
+	pts := r.Snapshot()
+	if len(pts) != 3 {
+		t.Fatalf("points %+v", pts)
+	}
+	if pts[0].Name != "aa_total" || pts[1].Name != "mm" || pts[2].Name != "zz" {
+		t.Fatalf("not sorted: %+v", pts)
+	}
+	if pts[0].Type != "counter" || pts[0].Value != 2 {
+		t.Fatalf("counter point %+v", pts[0])
+	}
+	if pts[1].Type != "histogram" || pts[1].Count != 1 || pts[1].Value != 0.5 {
+		t.Fatalf("histogram point %+v", pts[1])
+	}
+	nilReg := (*Registry)(nil)
+	if nilReg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	nilReg.Reset() // must not panic
+}

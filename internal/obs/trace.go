@@ -12,11 +12,12 @@ import (
 // Standard trace categories. Emitters are free to invent more; these
 // are the ones the built-in instrumentation uses.
 const (
-	CatPhase   = "phase"   // run phases: deploy, recruitment, attack
-	CatExploit = "exploit" // exploit attempts and outcomes
-	CatCNC     = "cnc"     // C&C registration and commands
-	CatChurn   = "churn"   // device membership flips, epochs
-	CatNet     = "net"     // network-level events (queue drops)
+	CatPhase     = "phase"     // run phases: deploy, recruitment, attack
+	CatExploit   = "exploit"   // exploit attempts and outcomes
+	CatCNC       = "cnc"       // C&C registration and commands
+	CatChurn     = "churn"     // device membership flips, epochs
+	CatNet       = "net"       // network-level events (queue drops)
+	CatKillChain = "killchain" // per-bot kill-chain stages: scan, exploit, load, recruit, attack
 )
 
 // KV is one ordered key/value annotation on a span or event.
@@ -123,6 +124,26 @@ func (t *Tracer) EndSpan(id SpanID, at sim.Time) {
 	if at > sp.Start {
 		sp.End = at
 	}
+}
+
+// RecordSpan appends an already-closed span covering [start, end].
+// Use it when the interval's endpoints are only known in retrospect —
+// e.g. a kill-chain stage whose start was noted before it was certain
+// a span would be produced. The span is sequenced at record time, so
+// it appears in exports at its completion point; end times before
+// start are clamped to start.
+func (t *Tracer) RecordSpan(start, end sim.Time, cat, name string, args ...KV) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.seq++
+	t.spans = append(t.spans, Span{
+		ID: SpanID(len(t.spans)), Cat: cat, Name: name,
+		Start: start, End: end, Args: args, seq: t.seq,
+	})
 }
 
 // CloseOpenSpans ends every still-open span at the given instant —

@@ -69,6 +69,11 @@ type Run struct {
 	// Obs condenses the run's observability layer: trace volume,
 	// scheduler load by source, and the wall-clock profile.
 	Obs obs.Summary `json:"obs"`
+
+	// Flows aggregates the exported flow records by ground-truth label;
+	// Phases summarizes kill-chain (and fault) span latencies.
+	Flows  obs.FlowStats   `json:"flows"`
+	Phases []obs.PhaseStat `json:"phases,omitempty"`
 }
 
 // FromResults builds the serializable view. includeDetail controls
@@ -101,6 +106,8 @@ func FromResults(cfg core.Config, r *core.Results, includeDetail bool) Run {
 		AttackTimeSecs:  r.Usage.AttackTimeSecs,
 		Faults:          r.Faults,
 		Obs:             r.Obs,
+		Flows:           r.Flows,
+		Phases:          r.Phases,
 	}
 	if includeDetail {
 		run.PerSecondKbps = append(run.PerSecondKbps, r.PerSecondKbps...)

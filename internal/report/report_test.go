@@ -68,6 +68,36 @@ func TestJSONWithoutDetail(t *testing.T) {
 	}
 }
 
+// TestPhaseSummaryGolden pins the kill-chain phase-latency summary
+// (and the labeled flow aggregate) for the deterministic sample run.
+// If an intentional simulation change shifts these numbers, re-capture
+// by running with -v and pasting the printed values.
+func TestPhaseSummaryGolden(t *testing.T) {
+	_, r := sampleRun(t)
+	phases, err := json.Marshal(r.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantPhases = `[{"phase":"attack","count":6,"min_s":0.09418735,"mean_s":0.41978636566666666,"max_s":0.860094465,"total_s":2.518718194},{"phase":"exploit","count":6,"min_s":0,"mean_s":0,"max_s":0,"total_s":0},{"phase":"recruit","count":6,"min_s":0.008119215,"mean_s":1.1269767275,"max_s":3.09560186,"total_s":6.761860365}]`
+	if string(phases) != wantPhases {
+		t.Errorf("phase summary drifted:\n got %s\nwant %s", phases, wantPhases)
+	}
+	flows, err := json.Marshal(r.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantFlows = `{"flows":102,"packets":10573,"bytes":5698702,"labels":[{"label":"attack","flows":6,"packets":10224,"bytes":5664096},{"label":"cnc","flows":60,"packets":150,"bytes":8580},{"label":"exploit","flows":36,"packets":199,"bytes":26026}]}`
+	if string(flows) != wantFlows {
+		t.Errorf("flow summary drifted:\n got %s\nwant %s", flows, wantFlows)
+	}
+	if mean, ok := r.MeanPhaseSecs("recruit"); !ok || mean <= 0 {
+		t.Fatalf("MeanPhaseSecs(recruit) = %v, %v", mean, ok)
+	}
+	if _, ok := r.MeanPhaseSecs("no-such-phase"); ok {
+		t.Fatal("MeanPhaseSecs invented a phase")
+	}
+}
+
 func TestSeriesCSV(t *testing.T) {
 	csv := SeriesCSV([]float64{1.5, 2.5}, 10)
 	want := "second,kbps\n10,1.500\n11,2.500\n"
