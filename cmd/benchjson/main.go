@@ -8,7 +8,7 @@
 //
 // Examples:
 //
-//	benchjson                 # write BENCH_killchain.json, BENCH_scheduler.json, BENCH_flood.json
+//	benchjson                 # write BENCH_killchain.json, BENCH_scheduler.json, BENCH_flood.json, BENCH_lint.json
 //	benchjson -out results/   # write them elsewhere
 //	benchjson -devs 10,50,100 -seeds 3
 package main
@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"ddosim/ddosim"
+	"ddosim/internal/lint"
 	"ddosim/internal/netsim"
 	"ddosim/internal/obs"
 	"ddosim/internal/sim"
@@ -121,7 +122,63 @@ func run() error {
 	if err := writeSuite(*outDir, "BENCH_flood.json", "flood", []floodRow{off, on}); err != nil {
 		return err
 	}
+	// The lint suite analyzes the module's own source, so it only runs
+	// when benchjson is invoked from inside the repo; elsewhere the
+	// other suites still work.
+	if lintRows, err := benchLint(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: skipping lint suite: %v\n", err)
+	} else if err := writeSuite(*outDir, "BENCH_lint.json", "lint", lintRows); err != nil {
+		return err
+	}
 	return nil
+}
+
+// lintRow is one static-analysis measurement: the cost of loading and
+// type-checking the module vs the cost of the analyzers themselves
+// (the shard-confinement engine dominates the latter).
+type lintRow struct {
+	Packages      int     `json:"packages"`
+	Analyzers     int     `json:"analyzers"`
+	Diags         int     `json:"diags"`
+	InventoryRows int     `json:"inventory_rows"`
+	LoadMS        float64 `json:"load_ms"`
+	AnalyzeMS     float64 `json:"analyze_ms"`
+	InventoryMS   float64 `json:"inventory_ms"`
+}
+
+// benchLint runs the full default suite over the whole module — the
+// same work `go run ./cmd/simlint ./...` does in CI — and the
+// inventory build on top of it.
+func benchLint() ([]lintRow, error) {
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	pkgs, err := l.LoadAll(".")
+	if err != nil {
+		return nil, err
+	}
+	loadMS := float64(time.Since(start).Microseconds()) / 1000
+
+	suite := lint.DefaultSuite()
+	start = time.Now()
+	diags := lint.Run(pkgs, suite)
+	analyzeMS := float64(time.Since(start).Microseconds()) / 1000
+
+	start = time.Now()
+	inv := lint.BuildInventory(pkgs)
+	inventoryMS := float64(time.Since(start).Microseconds()) / 1000
+
+	return []lintRow{{
+		Packages:      len(pkgs),
+		Analyzers:     len(suite),
+		Diags:         len(diags),
+		InventoryRows: len(inv),
+		LoadMS:        loadMS,
+		AnalyzeMS:     analyzeMS,
+		InventoryMS:   inventoryMS,
+	}}, nil
 }
 
 // benchFlood measures the UDP flood send path — the hot loop behind

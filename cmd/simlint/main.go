@@ -3,12 +3,21 @@
 //
 // Usage:
 //
-//	go run ./cmd/simlint [-json] [-list] [-analyzer a,b] [pattern ...]
+//	go run ./cmd/simlint [-json] [-list] [-analyzer a,b] [-unused-allows] [-inventory out.json] [pattern ...]
 //
 // Patterns follow go-tool shape: "./..." (the default) lints every
 // package in the module, "./internal/netsim/..." a subtree, and
 // "./internal/netsim" a single package. -analyzer restricts the run
-// to a comma-separated subset of the suite (see -list for names).
+// to a comma-separated subset of the suite (see -list for names; the
+// listing is generated from the registered suite, so it cannot drift
+// from the analyzers that actually run). -unused-allows additionally
+// reports every //simlint:allow annotation that suppressed nothing —
+// the stale-suppression audit; it requires the full suite, since a
+// subset run cannot judge annotations it never exercised. -inventory
+// writes the shard-confinement access inventory — every shared-state
+// site reachable from a scheduler callback, classed as violation,
+// allowed, or boundary, with its reachability chain — as JSON to the
+// given path ("-" for stdout).
 // Diagnostics print as "file:line:col analyzer: message" with paths
 // relative to the module root, in a stable total order —
 // (file, line, col, analyzer, message) — in both text and -json
@@ -37,28 +46,34 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	analyzer := flag.String("analyzer", "", "comma-separated analyzer names to run (default: the whole suite)")
+	unusedAllows := flag.Bool("unused-allows", false, "also report //simlint:allow annotations that suppress nothing (full suite only)")
+	inventory := flag.String("inventory", "", "write the shard-confinement access inventory as JSON to this path (\"-\" for stdout)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: simlint [-json] [-list] [-analyzer a,b] [pattern ...]\n\n"+
+			"usage: simlint [-json] [-list] [-analyzer a,b] [-unused-allows] [-inventory out.json] [pattern ...]\n\n"+
 				"Lints the packages matched by the go-tool-style patterns (default ./...)\n"+
 				"with DDoSim's simulation-safety suite. Diagnostics are ordered by\n"+
 				"(file, line, col, analyzer, message) in both text and -json output.\n\n"+
+				"Analyzers (from the registered suite):\n%s\n"+
 				"Exit codes:\n"+
 				"  0  no findings\n"+
 				"  1  findings reported\n"+
-				"  2  load or usage error\n\nFlags:\n")
+				"  2  load or usage error\n\nFlags:\n",
+			suiteListing(lint.DefaultSuite()))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	suite := lint.DefaultSuite()
 	if *list {
-		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
-		}
+		fmt.Print(suiteListing(suite))
 		return 0
 	}
 	if *analyzer != "" {
+		if *unusedAllows {
+			fmt.Fprintln(os.Stderr, "simlint: -unused-allows requires the full suite (drop -analyzer)")
+			return 2
+		}
 		selected, err := selectAnalyzers(suite, *analyzer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
@@ -92,7 +107,23 @@ func run() int {
 		pkgs = append(pkgs, loaded...)
 	}
 
-	diags := lint.Run(pkgs, suite)
+	if *inventory != "" {
+		entries := lint.BuildInventory(pkgs)
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		data = append(data, '\n')
+		if *inventory == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*inventory, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+	}
+
+	diags := lint.RunWith(pkgs, suite, lint.RunOpts{UnusedAllows: *unusedAllows})
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -110,6 +141,17 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// suiteListing renders the -list/-h analyzer table from the
+// registered suite, so documentation cannot drift from the analyzers
+// that actually run.
+func suiteListing(suite []lint.Analyzer) string {
+	var b strings.Builder
+	for _, a := range suite {
+		fmt.Fprintf(&b, "  %-13s %s\n", a.Name(), a.Doc())
+	}
+	return b.String()
 }
 
 // selectAnalyzers filters the suite down to the named analyzers,

@@ -254,7 +254,7 @@ func (s *Simulation) setupFaults() error {
 						s.loader.Forget(dev.container.Node().Addr4())
 					}
 				}
-				dev.container.Kill(p.PID())
+				dev.container.Kill(p.PID()) //simlint:allow shardconfine(fault supervisor kills the crashed process's own container; becomes a partition message under the sharded kernel — ROADMAP item 1)
 				return what, true
 			},
 			Restart: func(string) bool {

@@ -18,26 +18,50 @@ import (
 // the flagged statement. The reason is mandatory: an empty or missing
 // reason is itself a diagnostic, so every suppression carries a
 // justification a reviewer can audit.
+//
+// Each annotation also tracks whether it suppressed anything: with
+// RunOpts.UnusedAllows, an annotation naming an analyzer that ran but
+// reported nothing under it becomes a diagnostic of its own, so stale
+// suppressions cannot linger after the code they excused is gone.
 var allowRe = regexp.MustCompile(`^//simlint:allow\s+([a-z][a-z0-9]*(?:\s*,\s*[a-z][a-z0-9]*)*)\s*\((.*)\)\s*$`)
 
-// allowIndex maps file → line → analyzers allowed at that line.
-type allowIndex map[string]map[int]map[string]bool
+// allowEntry is one parsed annotation with per-analyzer usage marks.
+type allowEntry struct {
+	file      string // relative path, for reporting
+	line, col int
+	analyzers map[string]bool
+	used      map[string]bool
+}
+
+// allowIndex holds a package's annotations, addressable by
+// file+line for suppression and enumerable for the unused audit.
+type allowIndex struct {
+	byFile  map[string]map[int]*allowEntry
+	entries []*allowEntry
+}
 
 // covers reports whether an annotation suppresses analyzer findings
-// at file:line.
+// at file:line, marking the annotation used when it does.
 func (idx allowIndex) covers(analyzer, file string, line int) bool {
-	lines := idx[file]
+	lines := idx.byFile[file]
 	if lines == nil {
 		return false
 	}
-	return lines[line][analyzer] || lines[line-1][analyzer]
+	hit := false
+	for _, l := range [2]int{line, line - 1} {
+		if e := lines[l]; e != nil && e.analyzers[analyzer] {
+			e.used[analyzer] = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // collectAllows scans a package's comments for simlint:allow
 // annotations, reporting malformed ones (empty reason, or the
 // simlint:allow prefix with unparseable arguments) as diagnostics.
 func collectAllows(pkg *Package, diags *[]Diagnostic) allowIndex {
-	idx := make(allowIndex)
+	idx := allowIndex{byFile: make(map[string]map[int]*allowEntry)}
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
@@ -64,19 +88,45 @@ func collectAllows(pkg *Package, diags *[]Diagnostic) allowIndex {
 					bad("simlint:allow " + m[1] + " needs a non-empty reason")
 					continue
 				}
-				lines := idx[pos.Filename]
+				lines := idx.byFile[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					idx[pos.Filename] = lines
+					lines = make(map[int]*allowEntry)
+					idx.byFile[pos.Filename] = lines
 				}
-				if lines[pos.Line] == nil {
-					lines[pos.Line] = make(map[string]bool)
+				e := lines[pos.Line]
+				if e == nil {
+					e = &allowEntry{
+						file: pkg.relPath(pos.Filename), line: pos.Line, col: pos.Column,
+						analyzers: make(map[string]bool),
+						used:      make(map[string]bool),
+					}
+					lines[pos.Line] = e
+					idx.entries = append(idx.entries, e)
 				}
 				for _, name := range strings.Split(m[1], ",") {
-					lines[pos.Line][strings.TrimSpace(name)] = true
+					e.analyzers[strings.TrimSpace(name)] = true
 				}
 			}
 		}
 	}
 	return idx
+}
+
+// reportUnused emits a diagnostic for every annotation naming an
+// analyzer that ran but had nothing to suppress. Analyzers outside
+// the run set are skipped: a subset run must not condemn annotations
+// it never exercised.
+func (idx allowIndex) reportUnused(ran map[string]bool, diags *[]Diagnostic) {
+	for _, e := range idx.entries {
+		for name := range e.analyzers {
+			if !ran[name] || e.used[name] {
+				continue
+			}
+			*diags = append(*diags, Diagnostic{
+				File: e.file, Line: e.line, Col: e.col,
+				Analyzer: "allow",
+				Message:  "unused simlint:allow " + name + ": no finding suppressed; remove the stale annotation",
+			})
+		}
+	}
 }

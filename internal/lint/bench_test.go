@@ -1,0 +1,26 @@
+package lint
+
+import "testing"
+
+// BenchmarkSimlintRepo measures the full-tree analysis cost CI pays
+// on every push: the module is loaded and type-checked once (that
+// cost is go/parser+go/types, not ours), then each iteration runs the
+// complete default suite — including the shard-confinement
+// reachability engine, which rebuilds its call graph and provenance
+// summaries from scratch because analyzers are stateful per run.
+func BenchmarkSimlintRepo(b *testing.B) {
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := l.LoadAll(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := Run(pkgs, DefaultSuite()); len(diags) != 0 {
+			b.Fatalf("tree not clean: %v", diags)
+		}
+	}
+}

@@ -113,14 +113,32 @@ type Preparer interface {
 	Prepare(pkgs []*Package)
 }
 
+// RunOpts selects optional whole-run checks layered on top of the
+// analyzer suite.
+type RunOpts struct {
+	// UnusedAllows reports every //simlint:allow annotation naming an
+	// analyzer from the run set that suppressed nothing — the stale-
+	// suppression audit CI runs with the full suite.
+	UnusedAllows bool
+}
+
 // Run executes the analyzers over each package and returns all
 // diagnostics sorted by (file, line, col, analyzer). Malformed or
 // reason-less allow annotations surface as diagnostics themselves.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	return RunWith(pkgs, analyzers, RunOpts{})
+}
+
+// RunWith is Run with options.
+func RunWith(pkgs []*Package, analyzers []Analyzer, opts RunOpts) []Diagnostic {
 	for _, a := range analyzers {
 		if p, ok := a.(Preparer); ok {
 			p.Prepare(pkgs)
 		}
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name()] = true
 	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -128,6 +146,9 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		pass := &Pass{Pkg: pkg, allows: allows, diags: &diags}
 		for _, a := range analyzers {
 			a.Run(pass)
+		}
+		if opts.UnusedAllows {
+			allows.reportUnused(ran, &diags)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -149,10 +170,11 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	return diags
 }
 
-// DefaultSuite returns the six analyzers with DDoSim's repo policy
+// DefaultSuite returns the eight analyzers with DDoSim's repo policy
 // baked in.
 func DefaultSuite() []Analyzer {
 	pktown, stalecapture := NewOwnership()
+	shardconfine, crossnode := NewShardConfinement()
 	return []Analyzer{
 		NewWallclock(),
 		NewGlobalRand(),
@@ -160,6 +182,8 @@ func DefaultSuite() []Analyzer {
 		NewSchedBlock(),
 		pktown,
 		stalecapture,
+		shardconfine,
+		crossnode,
 	}
 }
 

@@ -201,3 +201,99 @@ func TestRepoClean(t *testing.T) {
 		t.Errorf("unexpected finding: %s", d)
 	}
 }
+
+// confinementSuite returns a fresh shardconfine/crossnode pair; the
+// two share one reachability engine, so they must be run together.
+func confinementSuite() []Analyzer {
+	shard, cross := NewShardConfinement()
+	return []Analyzer{shard, cross}
+}
+
+// TestShardConfine covers the shardconfine fixture: a package-level
+// write in a method-value handler, a captured foreign-node mutation,
+// and the audited-allow escape hatch staying quiet.
+func TestShardConfine(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "shardconfine/confined")
+	checkGolden(t, "shardconfine", []*Package{pkg}, confinementSuite())
+}
+
+// TestCrossNode covers the crossnode fixture: registry-lookup,
+// control-plane-state, and neighbor-pointer crossings.
+func TestCrossNode(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "crossnode/crossmut")
+	checkGolden(t, "crossnode", []*Package{pkg}, confinementSuite())
+}
+
+// TestConfineForeign pins the deliberate foreign-node mutation — the
+// same code internal/netsim/confine_test.go executes under -tags
+// simdebug — to its exact file:line, mirroring TestPktOwnUAF's
+// one-bug-two-catchers contract.
+func TestConfineForeign(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "confine/foreign")
+	diags := Run([]*Package{pkg}, confinementSuite())
+	checkGolden(t, "confine_foreign", []*Package{pkg}, confinementSuite())
+	if len(diags) != 1 || diags[0].Analyzer != "shardconfine" ||
+		diags[0].File != "internal/lint/testdata/confine/foreign/foreign.go" {
+		t.Fatalf("want exactly one shardconfine finding in foreign.go, got %v", diags)
+	}
+}
+
+// TestUnusedAllows covers the -unused-allows audit: the stale
+// annotation is reported, the live suppression is not.
+func TestUnusedAllows(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "allowlist/unused")
+	diags := RunWith([]*Package{pkg}, confinementSuite(), RunOpts{UnusedAllows: true})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic (the stale allow), got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "allow" || !strings.Contains(d.Message, "unused simlint:allow shardconfine") {
+		t.Fatalf("want an unused-allow report for the stale annotation, got %v", d)
+	}
+	if d.File != "internal/lint/testdata/allowlist/unused/unused.go" || d.Line != 22 {
+		t.Fatalf("unused-allow report at wrong site: %v", d)
+	}
+}
+
+// TestInventory exercises the machine-readable artifact: suppressed
+// findings come back reclassified as "allowed", surviving ones as
+// "violation", and the rows are totally ordered.
+func TestInventory(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs := []*Package{
+		loadFixture(t, l, "shardconfine/confined"),
+		loadFixture(t, l, "crossnode/crossmut"),
+	}
+	inv := BuildInventory(pkgs)
+	var violations, allowed int
+	for _, e := range inv {
+		switch e.Class {
+		case "violation":
+			violations++
+		case "allowed":
+			allowed++
+		case "boundary":
+		default:
+			t.Errorf("unknown inventory class %q in %+v", e.Class, e)
+		}
+		if e.File == "" || e.Line == 0 || e.Chain == "" {
+			t.Errorf("inventory row missing position or chain: %+v", e)
+		}
+	}
+	if violations < 4 {
+		t.Errorf("want the fixtures' violations in the inventory, got %d rows: %+v", violations, inv)
+	}
+	if allowed != 1 {
+		t.Errorf("want exactly the Audited suppression as allowed, got %d", allowed)
+	}
+	for i := 1; i < len(inv); i++ {
+		a, b := inv[i-1], inv[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("inventory out of order at %d: %+v before %+v", i, a, b)
+		}
+	}
+}

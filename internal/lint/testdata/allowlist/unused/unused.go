@@ -1,0 +1,25 @@
+// Package unused exercises the -unused-allows audit: one annotation
+// that suppresses a real finding (live) and one on a clean line
+// (stale, reported by RunOpts.UnusedAllows).
+package unused
+
+import "ddosim/internal/sim"
+
+var hits int
+
+// Live schedules a handler whose global write is suppressed by an
+// audited allow — the annotation is used.
+func Live(sched *sim.Scheduler) {
+	sched.Schedule(sim.Second, func() {
+		//simlint:allow shardconfine(test fixture: live suppression)
+		hits++
+	})
+}
+
+// Stale carries an allow on a line with nothing to suppress.
+func Stale(sched *sim.Scheduler) {
+	sched.Schedule(sim.Second, func() {
+		//simlint:allow shardconfine(test fixture: nothing here to suppress)
+		_ = sched.Now()
+	})
+}

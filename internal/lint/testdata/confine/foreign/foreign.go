@@ -1,0 +1,26 @@
+// Package foreign is the deliberate cross-partition mutation — the
+// shard-confinement cross-validation target: the shardconfine
+// analyzer must flag the foreign-node write in the datagram handler
+// at its exact line (golden/confine_foreign.txt pins it), and the
+// same line must panic in the runtime confinement sanitizer when the
+// handler actually fires under `go test -tags simdebug`
+// (internal/netsim/confine_test.go imports this package, delivers a
+// datagram, and asserts the panic). One bug, two catchers — the same
+// contract the pktown/uaf fixture pins for the pooled-packet path.
+package foreign
+
+import (
+	"net/netip"
+
+	"ddosim/internal/netsim"
+)
+
+// Install binds a UDP handler on node a whose body reaches over to a
+// *different* node and mutates its tracked state directly — the
+// access that becomes a data race once the kernel shards.
+func Install(a, victim *netsim.Node, port uint16) error {
+	_, err := a.BindUDP(port, func(src netip.AddrPort, payload []byte, pad int) {
+		victim.SetForwarding(true) // foreign-node mutation: flagged statically, panics under simdebug
+	})
+	return err
+}

@@ -1,0 +1,41 @@
+// Package crossmut exercises the crossnode analyzer: handlers that
+// obtain a different node or device — registry lookup, neighbor
+// pointer, control-plane bookkeeping — and mutate it directly instead
+// of going through the message path.
+package crossmut
+
+import (
+	"ddosim/internal/netsim"
+	"ddosim/internal/sim"
+)
+
+// Balancer is control-plane state holding partition values: its
+// device list is exactly the faults/churn bookkeeping shape.
+type Balancer struct {
+	sched  *sim.Scheduler
+	net    *netsim.Network
+	devs   []*netsim.NetDevice
+	rounds int
+}
+
+// Start wires rebalance as a bound method-value callback.
+func (b *Balancer) Start() {
+	b.sched.Schedule(sim.Second, b.rebalance)
+}
+
+func (b *Balancer) rebalance() {
+	b.rounds++ // clean: the handler's own counter
+	gw := b.net.Node("gw")
+	gw.SetForwarding(true) // want: crossnode (node obtained via registry lookup)
+	for _, d := range b.devs {
+		d.SetUp(false) // want: crossnode (device reached from control-plane state)
+	}
+}
+
+// Neighbor mutates the device at the other end of a link — the
+// neighbor-pointer crossing.
+func Neighbor(sched *sim.Scheduler, d *netsim.NetDevice) {
+	sched.Schedule(sim.Second, func() {
+		d.Peer().SetUp(true) // want: crossnode (neighbor obtained via Peer)
+	})
+}

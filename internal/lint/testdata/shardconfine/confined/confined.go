@@ -1,0 +1,48 @@
+// Package confined exercises the shardconfine analyzer: writes to
+// package-level state and mutations of captured foreign partition
+// state inside scheduler-reachable handlers, including the
+// method-value handler idiom (a bound callback passed to Schedule).
+package confined
+
+import (
+	"ddosim/internal/netsim"
+	"ddosim/internal/sim"
+)
+
+// totalTicks is package-level mutable state no partition owns.
+var totalTicks int
+
+// Agent is a control-plane unit whose tick runs as a scheduled
+// method-value callback.
+type Agent struct {
+	sched *sim.Scheduler
+	local int
+}
+
+// Start schedules tick as a bound method value — the PR 3 bound
+// tx/prop callback idiom the engine must treat as a handler root.
+func (a *Agent) Start() {
+	a.sched.Schedule(sim.Second, a.tick)
+}
+
+func (a *Agent) tick() {
+	totalTicks++ // want: shardconfine (package-level write)
+	a.local++    // clean: the handler's own state
+}
+
+// Watch schedules a literal that captures a foreign node and mutates
+// it — cross-partition state entering the handler from outside.
+func Watch(sched *sim.Scheduler, victim *netsim.Node) {
+	sched.Schedule(sim.Second, func() {
+		victim.SetForwarding(true) // want: shardconfine (captured foreign node)
+	})
+}
+
+// Audited is the escape hatch: the same shape as Watch, with an
+// audited allow carrying the justification.
+func Audited(sched *sim.Scheduler, admin *netsim.Node) {
+	sched.Schedule(sim.Second, func() {
+		//simlint:allow shardconfine(test fixture: audited admin toggle, rerouted by the sharding PR)
+		admin.SetForwarding(false)
+	})
+}

@@ -1,0 +1,89 @@
+//go:build simdebug
+
+package netsim
+
+// simdebug build: the runtime half of the shard-confinement tooling,
+// cross-validating the shardconfine/crossnode static analyzers in
+// internal/lint the same way the pool sanitizer (sanitize_on.go)
+// cross-validates pktown.
+//
+// The scheduler loop is single-threaded, so "which partition is
+// executing" is a single ambient fact: while a node's IP input path
+// (handleReceive) or loopback delivery runs, that node owns the
+// handler. Every administrative mutator of Node and NetDevice state
+// checks the ambient owner — mutating a *different* node's tracked
+// state from inside a delivery is exactly the access that becomes a
+// data race once the kernel shards, and it panics here with both node
+// names and the call site.
+//
+// Control-plane code (faults, churn, core supervisors) runs outside
+// any delivery, with no ambient owner, and is not checked at runtime
+// — the static analyzers inventory those sites instead (see
+// results/simlint_inventory.json).
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// confOwner is the node whose handler is currently executing, or nil
+// outside packet delivery. Single-threaded by the kernel's design; a
+// plain variable suffices.
+var confOwner *Node
+
+// confineEnter stamps n as the executing partition, returning the
+// previous owner for nested deliveries (forwarding, loopback).
+func confineEnter(n *Node) *Node {
+	prev := confOwner
+	confOwner = n
+	return prev
+}
+
+// confineExit restores the previous ambient owner.
+func confineExit(prev *Node) { confOwner = prev }
+
+// confSite reports the first caller frame outside the confinement
+// machinery and the netsim mutators — the application-level line that
+// performed the foreign mutation.
+func confSite() string {
+	pcs := make([]uintptr, 24)
+	n := runtime.Callers(2, pcs)
+	frames := runtime.CallersFrames(pcs[:n])
+	last := "unknown"
+	for {
+		f, more := frames.Next()
+		last = fmt.Sprintf("%s:%d", f.File, f.Line)
+		if !strings.HasSuffix(f.File, "/confine_on.go") &&
+			!strings.HasSuffix(f.File, "/node.go") &&
+			!strings.HasSuffix(f.File, "/device.go") &&
+			!strings.HasSuffix(f.File, "/udp.go") {
+			return last
+		}
+		if !more {
+			return last
+		}
+	}
+}
+
+// confineCheck panics when a handler owned by one node mutates the
+// tracked state of another: the cross-partition write the sharded
+// kernel cannot allow outside the message path.
+func (n *Node) confineCheck(op string) {
+	if confOwner != nil && n != nil && confOwner != n {
+		panic(fmt.Sprintf(
+			"netsim: shard-confinement violation: %s on foreign node %q inside a handler owned by node %q at %s",
+			op, n.name, confOwner.name, confSite()))
+	}
+}
+
+// confineCheck on a device delegates to its owning node.
+func (d *NetDevice) confineCheck(op string) {
+	if d != nil && d.node != nil {
+		d.node.confineCheck(op)
+	}
+}
+
+// ConfinementEnabled reports whether this binary carries the simdebug
+// confinement sanitizer.
+func ConfinementEnabled() bool { return true }

@@ -1,0 +1,88 @@
+//go:build simdebug
+
+// Cross-validation of the shard-confinement analysis by the runtime
+// confinement sanitizer: the same deliberate foreign-node mutation
+// that the shardconfine analyzer flags at its exact line
+// (internal/lint/testdata/confine/foreign, golden confine_foreign.txt)
+// must panic here when the handler actually fires under -tags
+// simdebug. Deliveries stamp the owning node; any tracked mutator
+// invoked on a different node inside that window trips the check.
+package netsim_test
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"ddosim/internal/lint/testdata/confine/foreign"
+	"ddosim/internal/netsim"
+	"ddosim/internal/sim"
+)
+
+func TestConfinementEnabled(t *testing.T) {
+	if !netsim.ConfinementEnabled() {
+		t.Fatal("built with -tags simdebug but ConfinementEnabled() = false")
+	}
+}
+
+// TestConfinementCatchesForeignFixture delivers a datagram into the
+// foreign fixture's handler and asserts the sanitizer panic names the
+// mutator, both nodes, and the fixture file — the dynamic half of the
+// one-bug-two-catchers contract TestConfineForeign pins statically.
+func TestConfinementCatchesForeignFixture(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	w := netsim.New(sched)
+	star := netsim.NewStar(w)
+	a := star.AttachHost("a", 10*netsim.Mbps, sim.Millisecond, 0)
+	victim := star.AttachHost("victim", 10*netsim.Mbps, sim.Millisecond, 0)
+	if err := foreign.Install(a, victim, 9); err != nil {
+		t.Fatal(err)
+	}
+	sock, err := victim.BindUDP(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SendTo(netip.AddrPortFrom(a.Addr4(), 9), []byte("trigger"))
+	msg := mustPanic(t, func() { _ = sched.RunAll() })
+	for _, want := range []string{
+		"shard-confinement violation",
+		"Node.SetForwarding",
+		`foreign node "victim"`,
+		`owned by node "a"`,
+		"foreign.go",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestConfinementOwnNodeQuiet: a handler mutating state on the node
+// that received the packet is partition-local and must not trip the
+// sanitizer.
+func TestConfinementOwnNodeQuiet(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	w := netsim.New(sched)
+	star := netsim.NewStar(w)
+	a := star.AttachHost("a", 10*netsim.Mbps, sim.Millisecond, 0)
+	b := star.AttachHost("b", 10*netsim.Mbps, sim.Millisecond, 0)
+	var got int
+	_, err := a.BindUDP(9, func(src netip.AddrPort, payload []byte, pad int) {
+		got++
+		a.SetForwarding(true) // own-node mutation: allowed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, err := b.BindUDP(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SendTo(netip.AddrPortFrom(a.Addr4(), 9), []byte("ok"))
+	if err := sched.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("handler ran %d times, want 1", got)
+	}
+}

@@ -55,11 +55,17 @@ func (n *Node) Sched() *sim.Scheduler { return n.sched }
 func (n *Node) Network() *Network { return n.net }
 
 // SetForwarding enables IP forwarding, turning the node into a router.
-func (n *Node) SetForwarding(on bool) { n.forward = on }
+func (n *Node) SetForwarding(on bool) {
+	n.confineCheck("Node.SetForwarding")
+	n.forward = on
+}
 
 // AddAddr assigns an address to the node. Nodes may hold both IPv4 and
 // IPv6 addresses (DDoSim is dual-stack; the Dnsmasq exploit needs v6).
-func (n *Node) AddAddr(a netip.Addr) { n.addrs[a] = true }
+func (n *Node) AddAddr(a netip.Addr) {
+	n.confineCheck("Node.AddAddr")
+	n.addrs[a] = true
+}
 
 // HasAddr reports whether the node owns address a.
 func (n *Node) HasAddr(a netip.Addr) bool { return n.addrs[a] }
@@ -94,11 +100,17 @@ func (n *Node) firstAddr(v6 bool) netip.Addr {
 }
 
 // AddRoute installs a host route: packets destined to dst leave via dev.
-func (n *Node) AddRoute(dst netip.Addr, dev *NetDevice) { n.routes[dst] = dev }
+func (n *Node) AddRoute(dst netip.Addr, dev *NetDevice) {
+	n.confineCheck("Node.AddRoute")
+	n.routes[dst] = dev
+}
 
 // SetDefaultDevice installs the device used when no host route matches —
 // the single uplink of a leaf host.
-func (n *Node) SetDefaultDevice(dev *NetDevice) { n.defDev = dev }
+func (n *Node) SetDefaultDevice(dev *NetDevice) {
+	n.confineCheck("Node.SetDefaultDevice")
+	n.defDev = dev
+}
 
 // DefaultDevice reports the node's default (uplink) device, or nil.
 func (n *Node) DefaultDevice() *NetDevice { return n.defDev }
@@ -106,6 +118,7 @@ func (n *Node) DefaultDevice() *NetDevice { return n.defDev }
 // JoinMulticast subscribes the node to group (e.g. ff02::1:2, the
 // All-DHCP-Relay-Agents-and-Servers group Dnsmasq listens on).
 func (n *Node) JoinMulticast(group netip.Addr) {
+	n.confineCheck("Node.JoinMulticast")
 	if !group.IsMulticast() {
 		panic(fmt.Sprintf("netsim: JoinMulticast(%s): not a multicast address", group))
 	}
@@ -113,14 +126,23 @@ func (n *Node) JoinMulticast(group netip.Addr) {
 }
 
 // LeaveMulticast unsubscribes the node from group.
-func (n *Node) LeaveMulticast(group netip.Addr) { delete(n.multicast, group) }
+func (n *Node) LeaveMulticast(group netip.Addr) {
+	n.confineCheck("Node.LeaveMulticast")
+	delete(n.multicast, group)
+}
 
 // AddTap registers an observer for locally-delivered packets.
-func (n *Node) AddTap(tap PacketTap) { n.taps = append(n.taps, tap) }
+func (n *Node) AddTap(tap PacketTap) {
+	n.confineCheck("Node.AddTap")
+	n.taps = append(n.taps, tap)
+}
 
 // SetFilter installs (or, with nil, removes) the node's ingress
 // filter.
-func (n *Node) SetFilter(f IngressFilter) { n.filter = f }
+func (n *Node) SetFilter(f IngressFilter) {
+	n.confineCheck("Node.SetFilter")
+	n.filter = f
+}
 
 // FilterDrops reports packets rejected by the ingress filter.
 func (n *Node) FilterDrops() uint64 { return n.filterDrops }
@@ -155,6 +177,8 @@ func (n *Node) SendPacket(pkt *Packet) {
 		// packet — audited 2026-08: ownership moves into the callback.
 		//simlint:allow stalecapture(SendPacket owns pkt and transfers it into the uncancellable loopback event, which releases it)
 		n.sched.Schedule(sim.Microsecond, func() {
+			prev := confineEnter(n)
+			defer confineExit(prev)
 			n.deliverLocal(pkt)
 			n.net.putPacket(pkt)
 		})
@@ -178,8 +202,15 @@ func (n *Node) lookupRoute(dst netip.Addr) *NetDevice {
 
 // handleReceive is the node's IP input path. It owns pkt: the packet is
 // either handed on to an egress device (forwarding) or freed here after
-// its terminal delivery or drop.
+// its terminal delivery or drop. While it runs, this node is the
+// executing partition for the simdebug confinement sanitizer.
 func (n *Node) handleReceive(in *NetDevice, pkt *Packet) {
+	prev := confineEnter(n)
+	defer confineExit(prev)
+	n.receiveIP(in, pkt)
+}
+
+func (n *Node) receiveIP(in *NetDevice, pkt *Packet) {
 	dst := pkt.Dst.Addr()
 	switch {
 	case dst.IsMulticast():

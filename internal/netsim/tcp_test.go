@@ -253,12 +253,17 @@ func TestTCPPeerDeathTimesOut(t *testing.T) {
 			return
 		}
 		c.SetCloseHandler(func(err error) { closed, closeErr = true, err })
-		// Kill the server's link (churn), then try to send: the data is
-		// never acked and the connection must time out.
-		server.DefaultDevice().SetUp(false)
-		if err := c.Send([]byte("are you there?")); err != nil {
-			t.Errorf("send: %v", err)
-		}
+		// Kill the server's link (churn) from a control-plane event —
+		// not from inside the client's handler, where the confinement
+		// sanitizer would rightly flag the foreign-node mutation —
+		// then try to send: the data is never acked and the connection
+		// must time out.
+		sched.Schedule(0, func() {
+			server.DefaultDevice().SetUp(false)
+			if err := c.Send([]byte("are you there?")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		})
 	})
 	if err := sched.Run(5 * sim.Minute); err != nil {
 		t.Fatal(err)
@@ -285,10 +290,15 @@ func TestTCPRetransmitSurvivesTransientOutage(t *testing.T) {
 			return
 		}
 		// Brief outage right as data goes out: retransmission recovers.
-		server.DefaultDevice().SetUp(false)
-		if err := c.Send([]byte("persistent")); err != nil {
-			t.Errorf("send: %v", err)
-		}
+		// The outage toggles run as control-plane events, not inside
+		// the client's handler (the confinement sanitizer would flag
+		// the foreign-node mutation there).
+		sched.Schedule(0, func() {
+			server.DefaultDevice().SetUp(false)
+			if err := c.Send([]byte("persistent")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		})
 		client.Sched().Schedule(500*sim.Millisecond, func() {
 			server.DefaultDevice().SetUp(true)
 		})

@@ -134,7 +134,7 @@ func (b *FlowBuffer) Stats() FlowStats {
 		ls.Packets += r.Packets
 		ls.Bytes += r.Bytes
 	}
-	for _, ls := range byLabel { //simlint:allow maporder(collect-then-sort: label classes are sorted before return)
+	for _, ls := range byLabel {
 		s.Labels = append(s.Labels, *ls)
 	}
 	sort.Slice(s.Labels, func(i, j int) bool { return s.Labels[i].Label < s.Labels[j].Label })

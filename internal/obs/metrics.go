@@ -248,13 +248,13 @@ func (r *Registry) Reset() {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, c := range r.counters { //simlint:allow maporder(order-independent: each metric is zeroed in place)
+	for _, c := range r.counters {
 		c.reset()
 	}
-	for _, g := range r.gauges { //simlint:allow maporder(order-independent: each metric is zeroed in place)
+	for _, g := range r.gauges {
 		g.reset()
 	}
-	for _, h := range r.hists { //simlint:allow maporder(order-independent: each metric is zeroed in place)
+	for _, h := range r.hists {
 		h.reset()
 	}
 }
@@ -276,13 +276,13 @@ func (r *Registry) Snapshot() []MetricPoint {
 	}
 	r.mu.Lock()
 	out := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.hists))
-	for n, c := range r.counters { //simlint:allow maporder(collect-then-sort: points are sorted before return)
+	for n, c := range r.counters {
 		out = append(out, MetricPoint{Name: n, Type: "counter", Value: float64(c.Value())})
 	}
-	for n, g := range r.gauges { //simlint:allow maporder(collect-then-sort: points are sorted before return)
+	for n, g := range r.gauges {
 		out = append(out, MetricPoint{Name: n, Type: "gauge", Value: g.Value()})
 	}
-	for n, h := range r.hists { //simlint:allow maporder(collect-then-sort: points are sorted before return)
+	for n, h := range r.hists {
 		_, _, sum, total := h.snapshot()
 		out = append(out, MetricPoint{Name: n, Type: "histogram", Value: sum, Count: total})
 	}
@@ -322,13 +322,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			names = append(names, n)
 		}
 	}
-	for n := range r.counters { //simlint:allow maporder(collect-then-sort: names are sorted before rendering)
+	for n := range r.counters {
 		addName(n)
 	}
-	for n := range r.gauges { //simlint:allow maporder(collect-then-sort: names are sorted before rendering)
+	for n := range r.gauges {
 		addName(n)
 	}
-	for n := range r.hists { //simlint:allow maporder(collect-then-sort: names are sorted before rendering)
+	for n := range r.hists {
 		addName(n)
 	}
 	sort.Strings(names)
