@@ -57,7 +57,11 @@ type Time = sim.Time
 
 // QueueKind selects the event-queue backend for Config.SchedQueue.
 // Backends are byte-identical on the same seed; the choice only
-// affects speed.
+// affects speed. Config.Shards (>= 1) similarly selects the sharded
+// parallel kernel — one logical-process shard per scheduler, conservative
+// lookahead synchronization — whose artifacts are byte-identical across
+// shard counts for the same seed; 0 keeps the classic single-queue
+// kernel and its legacy artifact family.
 type QueueKind = sim.QueueKind
 
 // Event-queue backends, mirroring NS-3's scheduler family.

@@ -284,7 +284,7 @@ func (c *Controller) scheduleSessionEnd(dev Device) {
 			return
 		}
 		online := !dev.Online()
-		dev.SetOnline(online) //simlint:allow shardconfine(churn control plane toggles a device it owns administratively; becomes a partition message under the sharded kernel — ROADMAP item 1)
+		c.sched.Barrier(func() { dev.SetOnline(online) })
 		if online {
 			c.rejoins++
 		} else {
@@ -306,11 +306,11 @@ func (c *Controller) evaluate(rejoin bool) {
 		leave := rng.Float64() < p
 		switch {
 		case leave && dev.Online():
-			dev.SetOnline(false) //simlint:allow crossnode(churn control plane drives device online state; becomes a partition message under the sharded kernel — ROADMAP item 1)
+			c.sched.Barrier(func() { dev.SetOnline(false) })
 			c.departures++
 			c.notify(dev, false)
 		case !leave && !dev.Online() && rejoin:
-			dev.SetOnline(true) //simlint:allow crossnode(churn control plane drives device online state; becomes a partition message under the sharded kernel — ROADMAP item 1)
+			c.sched.Barrier(func() { dev.SetOnline(true) })
 			c.rejoins++
 			c.notify(dev, true)
 		}

@@ -114,7 +114,7 @@ func (c *Container) Spawn(b Behavior) *Process {
 		tcpPorts:  make(map[uint16]bool),
 	}
 	c.procs[p.pid] = p
-	c.engine.stats.ProcsSpawned++
+	c.engine.procsSpawned.Add(1)
 	b.Start(p)
 	return p
 }

@@ -2,6 +2,7 @@ package container
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ddosim/internal/netsim"
 	"ddosim/internal/obs"
@@ -36,6 +37,10 @@ type Engine struct {
 	factories  map[string]BehaviorFactory
 
 	stats EngineStats
+	// procsSpawned is kept apart from stats and updated atomically:
+	// spawns happen on shard workers (loader infections, daemon
+	// respawns) concurrently under the sharded kernel.
+	procsSpawned atomic.Int64
 
 	ctrShellExecs *obs.Counter
 }
@@ -65,7 +70,11 @@ func (e *Engine) Sched() *sim.Scheduler { return e.sched }
 func (e *Engine) Star() *netsim.Star { return e.star }
 
 // Stats returns a copy of the engine counters.
-func (e *Engine) Stats() EngineStats { return e.stats }
+func (e *Engine) Stats() EngineStats {
+	st := e.stats
+	st.ProcsSpawned = int(e.procsSpawned.Load())
+	return st
+}
 
 // RegisterImage adds an image to the local registry.
 func (e *Engine) RegisterImage(img *Image) {

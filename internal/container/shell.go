@@ -54,8 +54,9 @@ func (c *Container) runShellDepth(script string, onDone func(error), depth int) 
 		return
 	}
 	// Begin asynchronously so callers never observe re-entrant
-	// completion.
-	c.engine.sched.ScheduleSrc(0, "container.shell", job.step)
+	// completion. Scheduled on the container's own node scheduler so a
+	// script started by a Dev-side exploit stays on the Dev's shard.
+	c.node.Sched().ScheduleSrc(0, "container.shell", job.step)
 }
 
 func (j *shellJob) finish(err error) {
@@ -227,5 +228,5 @@ func (j *shellJob) sleep(args []string, next func(error)) {
 			return
 		}
 	}
-	j.c.engine.sched.Schedule(sim.Seconds(secs), func() { next(nil) })
+	j.c.node.Sched().Schedule(sim.Seconds(secs), func() { next(nil) })
 }

@@ -154,6 +154,17 @@ type Config struct {
 	// produces the paper's Fig. 2 churn gap.
 	CNCReplayAttack bool
 
+	// Shards selects the parallel event kernel: 0 (default) runs the
+	// classic single-scheduler path, byte-identical to every earlier
+	// release; N >= 1 partitions the topology into N logical-process
+	// shards synchronized conservatively with the link propagation
+	// delay as lookahead. Within the sharded family the artifacts are
+	// byte-identical for any shard count — partitioning is a pure
+	// performance knob — but the family differs from the Shards=0
+	// artifacts (see DESIGN.md §6g for why the two schedules cannot
+	// coincide).
+	Shards int
+
 	// SchedQueue selects the event-queue backend (sim.QueueHeap or
 	// sim.QueueCalendar, mirroring NS-3's scheduler family). Empty
 	// selects the heap. Backends are observationally identical — the
@@ -236,6 +247,19 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: unknown scheduler queue %q", c.SchedQueue)
 	case c.FlowActiveTimeout < 0 || c.FlowIdleTimeout < 0 || c.WindowSize < 0:
 		return fmt.Errorf("core: negative telemetry interval")
+	case c.Shards < 0:
+		return fmt.Errorf("core: Shards must be non-negative, got %d", c.Shards)
+	}
+	if c.Shards > 0 {
+		// The shard kernel uses LinkDelay as the conservative lookahead;
+		// the flow sweeper runs every second and must land on epoch
+		// barriers.
+		if c.LinkDelay <= 0 {
+			return fmt.Errorf("core: Shards=%d needs a positive LinkDelay lookahead", c.Shards)
+		}
+		if sim.Second%c.LinkDelay != 0 {
+			return fmt.Errorf("core: Shards=%d needs LinkDelay dividing 1s (flow-sweep alignment), got %v", c.Shards, c.LinkDelay)
+		}
 	}
 	if c.Vector == VectorCredentials && c.NumDevs > 200 {
 		// Scanners sweep 10.0.0.0/24; the paper's fleets stay within

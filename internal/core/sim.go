@@ -61,8 +61,14 @@ func (d *Dev) Rate() netsim.DataRate { return d.rate }
 
 // Simulation is one fully-built DDoSim instance.
 type Simulation struct {
-	cfg      Config
-	sched    *sim.Scheduler
+	cfg   Config
+	sched *sim.Scheduler
+	// set is the sharded parallel kernel (nil on the classic
+	// single-scheduler path). When present, sched is its control-plane
+	// scheduler: everything core schedules directly — churn, faults,
+	// the recruitment watcher, window sampling — runs at epoch barriers
+	// with the shard workers parked.
+	set      *sim.ShardSet
 	net      *netsim.Network
 	star     *netsim.Star
 	engine   *container.Engine
@@ -117,7 +123,6 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	s := &Simulation{
 		cfg:            cfg,
-		sched:          sim.NewSchedulerQueue(cfg.Seed, cfg.SchedQueue),
 		timeline:       metrics.NewTimeline(),
 		obs:            obs.New(),
 		devByAddr:      make(map[netip.Addr]*Dev),
@@ -126,9 +131,40 @@ func New(cfg Config) (*Simulation, error) {
 		infectedDevs:   make(map[string]bool),
 		registeredEver: make(map[netip.Addr]bool),
 	}
-	s.sched.SetHook(s.obs.SchedulerHook())
+	if cfg.Shards > 0 {
+		s.set = sim.NewShardSet(cfg.Seed, cfg.Shards, cfg.LinkDelay, cfg.SchedQueue)
+		s.sched = s.set.CtlSched()
+		// The scheduler profiler hook stays off: a per-event callback
+		// into one shared profiler would race across shard workers.
+		// The main tracer instead stamps every record with its logical
+		// process and emission sequence so assemble() can merge the
+		// per-shard buffers into one deterministic stream.
+		ctl := s.set.CtlLP()
+		s.obs.Trace.SetStamper(func() (uint32, uint64) {
+			if lp := s.set.CtlSched().CurLP(); lp != nil {
+				return lp.Idx(), lp.NextEmit()
+			}
+			if lp := s.set.Shard(0).Sched().CurLP(); lp != nil {
+				return lp.Idx(), lp.NextEmit()
+			}
+			// Setup/assemble code outside any event, and control events
+			// scheduled without an owner: attribute to the control LP.
+			return ctl.Idx(), ctl.NextEmit()
+		})
+	} else {
+		s.sched = sim.NewSchedulerQueue(cfg.Seed, cfg.SchedQueue)
+		s.sched.SetHook(s.obs.SchedulerHook())
+	}
 	s.net = netsim.New(s.sched)
+	if s.set != nil {
+		s.net.EnableSharding(s.set)
+	}
 	s.net.Observe(s.obs)
+	// The hub entities — star router, TServer, attacker — live on shard
+	// 0; Devs spread over the remaining shards (all on 0 when there is
+	// only one). LP allocation order is fixed regardless of the shard
+	// count: the merge order of cross-shard messages keys on it.
+	s.primeLP(0)
 	s.star = netsim.NewStar(s.net)
 	s.engine = container.NewEngine(s.sched, s.star)
 	s.engine.Observe(s.obs)
@@ -171,29 +207,115 @@ func New(cfg Config) (*Simulation, error) {
 	return s, nil
 }
 
+// primeLP allocates a logical process on the given shard and primes
+// the network to bind the next created node to it. Returns nil on the
+// classic path.
+func (s *Simulation) primeLP(shard int) *sim.LP {
+	if s.set == nil {
+		return nil
+	}
+	lp := s.set.NewLP(shard)
+	s.net.SetNextLP(lp)
+	return lp
+}
+
+// devShardFor spreads the fleet over the non-hub shards (the hub —
+// router, TServer, attacker — keeps shard 0 to itself when it can).
+func (s *Simulation) devShardFor(i int) int {
+	if s.set == nil {
+		return 0
+	}
+	n := s.set.NumShards()
+	if n == 1 {
+		return 0
+	}
+	return 1 + i%(n-1)
+}
+
+// atkLP is the attacker hub's logical process (nil on the classic
+// path).
+func (s *Simulation) atkLP() *sim.LP {
+	if s.set == nil {
+		return nil
+	}
+	return s.attacker.Container.Node().LP()
+}
+
+// devLP is the logical process a Dev's node lives on (nil on the
+// classic path).
+func (s *Simulation) devLP(d *Dev) *sim.LP {
+	if s.set == nil {
+		return nil
+	}
+	return d.container.Node().LP()
+}
+
+// withLP runs fn attributed to lp — events it schedules and random
+// draws it makes belong to lp's stream — or plainly on the classic
+// path (lp nil).
+func (s *Simulation) withLP(lp *sim.LP, fn func()) {
+	if lp == nil {
+		fn()
+		return
+	}
+	s.set.WithLP(lp, fn)
+}
+
+// hubNow reads the current time from the attacker hub's shard — the
+// correct clock inside CNC/loader callbacks, which execute on that
+// shard's worker while the control clock lags at the previous barrier.
+func (s *Simulation) hubNow() sim.Time {
+	if s.set != nil {
+		return s.attacker.Container.Node().Sched().Now()
+	}
+	return s.sched.Now()
+}
+
+// pending reports outstanding events across the whole kernel.
+func (s *Simulation) pending() int {
+	if s.set != nil {
+		return s.set.Pending()
+	}
+	return s.sched.Pending()
+}
+
+// processed reports events executed across the whole kernel.
+func (s *Simulation) processed() uint64 {
+	if s.set != nil {
+		return s.set.Processed()
+	}
+	return s.sched.Processed()
+}
+
 // setupTelemetry attaches the flow exporter (with ground-truth label
 // rules) and registers the windowed time-series columns. Runs after
 // deployment because the label rules need the attacker's addresses.
 func (s *Simulation) setupTelemetry() {
-	s.flowBuf = &obs.FlowBuffer{}
-	ft := s.net.EnableFlows(netsim.FlowConfig{
+	fcfg := netsim.FlowConfig{
 		ActiveTimeout: s.cfg.FlowActiveTimeout,
 		IdleTimeout:   s.cfg.FlowIdleTimeout,
-		Sink:          s.flowBuf,
-	})
+	}
+	if s.set == nil {
+		// Classic path: one table, records stream into flowBuf as they
+		// export. Sharded runs keep per-shard tables with private sinks;
+		// assemble() merges them into flowBuf in canonical order.
+		s.flowBuf = &obs.FlowBuffer{}
+		fcfg.Sink = s.flowBuf
+	}
+	s.net.EnableFlows(fcfg)
 	atk := s.attacker.Container.Node()
 	// Rule order matters: the C&C listens on port 23 — the telnet port —
 	// so the exact-endpoint C&C rule must precede the generic telnet
 	// rule, or bot↔C&C flows would be labeled "recruit".
-	ft.AddLabelRule(netsim.FlowLabelRule{
+	s.net.AddFlowLabelRule(netsim.FlowLabelRule{
 		Endpoint: netip.AddrPortFrom(atk.Addr4(), mirai.CNCPort), Label: "cnc"})
-	ft.AddLabelRule(netsim.FlowLabelRule{
+	s.net.AddFlowLabelRule(netsim.FlowLabelRule{
 		Endpoint: netip.AddrPortFrom(atk.Addr4(), mirai.ScanListenPort), Label: "recruit"})
-	ft.AddLabelRule(netsim.FlowLabelRule{Port: 23, Label: "recruit"})
+	s.net.AddFlowLabelRule(netsim.FlowLabelRule{Port: 23, Label: "recruit"})
 	// Remaining attacker traffic (DNS poisoning, DHCPv6 payloads, bot
 	// binary fetches) is the exploit-delivery plane.
-	ft.AddLabelRule(netsim.FlowLabelRule{Addr: atk.Addr4(), Label: "exploit"})
-	ft.AddLabelRule(netsim.FlowLabelRule{Addr: atk.Addr6(), Label: "exploit"})
+	s.net.AddFlowLabelRule(netsim.FlowLabelRule{Addr: atk.Addr4(), Label: "exploit"})
+	s.net.AddFlowLabelRule(netsim.FlowLabelRule{Addr: atk.Addr6(), Label: "exploit"})
 
 	w := obs.NewWindows(s.cfg.WindowSize)
 	w.Column("infected", func() float64 { return float64(s.results.Infected) })
@@ -202,7 +324,7 @@ func (s *Simulation) setupTelemetry() {
 	w.DeltaColumn("net_tx_bytes", func() float64 { return float64(s.net.Stats().TxBytes) })
 	w.DeltaColumn("net_drops", func() float64 { return float64(s.net.Stats().Drops) })
 	w.DeltaColumn("sink_rx_bytes", func() float64 { return float64(s.sink.Series().TotalBytes()) })
-	w.Column("queue_depth", func() float64 { return float64(s.sched.Pending()) })
+	w.Column("queue_depth", func() float64 { return float64(s.pending()) })
 	// Mean command→first-flood-packet latency over the window; reading
 	// drains the accumulator (documented side effect — Windows calls
 	// each reader exactly once per Sample).
@@ -237,28 +359,41 @@ func (s *Simulation) setupFaults() error {
 		inj.AddProcTarget(faults.ProcTarget{
 			Name: dev.name,
 			Crash: func(rng *rand.Rand) (string, bool) {
-				procs := dev.container.Procs()
-				if len(procs) == 0 {
-					return "", false
-				}
-				p := procs[rng.Intn(len(procs))]
-				what := p.Title()
-				if p.Tag("malware") != "" {
-					// A crashed bot stays dead until the botnet itself
-					// re-recruits the device: the loader forgets the
-					// victim so a scanner re-report can re-infect it.
-					// That recovery loop is what the resilience
-					// experiment measures.
-					what = "bot"
-					if s.loader != nil {
-						s.loader.Forget(dev.container.Node().Addr4())
+				// Runs on the control plane — at an epoch barrier under
+				// the sharded kernel, with every worker parked, so the
+				// cross-partition process kill is race-free. withLP
+				// attributes any events the teardown schedules to the
+				// victim Dev's own logical process.
+				what, ok := "", false
+				s.withLP(s.devLP(dev), func() {
+					procs := dev.container.Procs()
+					if len(procs) == 0 {
+						return
 					}
-				}
-				dev.container.Kill(p.PID()) //simlint:allow shardconfine(fault supervisor kills the crashed process's own container; becomes a partition message under the sharded kernel — ROADMAP item 1)
-				return what, true
+					p := procs[rng.Intn(len(procs))]
+					what, ok = p.Title(), true
+					if p.Tag("malware") != "" {
+						// A crashed bot stays dead until the botnet itself
+						// re-recruits the device: the loader forgets the
+						// victim so a scanner re-report can re-infect it.
+						// That recovery loop is what the resilience
+						// experiment measures.
+						what = "bot"
+						if s.loader != nil {
+							s.loader.Forget(dev.container.Node().Addr4())
+						}
+					}
+					dev.container.Kill(p.PID())
+				})
+				return what, ok
 			},
 			Restart: func(string) bool {
-				return dev.respawn != nil && dev.respawn()
+				if dev.respawn == nil {
+					return false
+				}
+				ok := false
+				s.withLP(s.devLP(dev), func() { ok = dev.respawn() })
+				return ok
 			},
 		})
 	}
@@ -270,7 +405,7 @@ func (s *Simulation) setupFaults() error {
 			if p == nil {
 				return "", false
 			}
-			atkC.Kill(p.PID())
+			s.withLP(s.atkLP(), func() { atkC.Kill(p.PID()) })
 			return "cnc", true
 		},
 		Restart: func(string) bool {
@@ -279,7 +414,8 @@ func (s *Simulation) setupFaults() error {
 			}
 			// Re-exec the C&C binary; the attacker's factory rebinds
 			// s.attacker.CNC to the fresh instance.
-			_, err := atkC.ExecFile("/usr/bin/cnc", nil)
+			var err error
+			s.withLP(s.atkLP(), func() { _, err = atkC.ExecFile("/usr/bin/cnc", nil) })
 			return err == nil
 		},
 	})
@@ -301,6 +437,10 @@ func (s *Simulation) Faults() *faults.Injector { return s.faults }
 // Sched exposes the scheduler (examples drive extra behaviours with
 // it).
 func (s *Simulation) Sched() *sim.Scheduler { return s.sched }
+
+// ShardSet exposes the sharded parallel kernel, or nil on the classic
+// single-scheduler path.
+func (s *Simulation) ShardSet() *sim.ShardSet { return s.set }
 
 // Network exposes the simulated network.
 func (s *Simulation) Network() *netsim.Network { return s.net }
@@ -358,31 +498,41 @@ func (s *Simulation) deployAttacker() error {
 		Bot: mirai.BotConfig{
 			PayloadBytes: s.cfg.PayloadBytes,
 			StartJitter:  jitter,
+			// Bots start their floods on their Dev's shard; the
+			// bookkeeping mutates run-wide state, so under the sharded
+			// kernel it travels to the control plane as a timestamped
+			// message and executes at the next barrier with the
+			// originating instant preserved.
 			OnAttackStart: func(addr netip.Addr) {
-				now := s.sched.Now()
-				s.timeline.Record(now, EventFloodStart, s.devName(addr))
-				s.obs.Trace.Event(now, obs.CatCNC, "flood-start",
-					obs.KV{K: "dev", V: s.devName(addr)})
-				if s.attackIssued {
-					at := s.results.AttackIssuedAt
-					s.obs.Trace.RecordSpan(at, now, obs.CatKillChain, "attack",
-						obs.KV{K: "dev", V: s.devName(addr)})
-					s.winCmdSum += (now - at).Seconds()
-					s.winCmdN++
+				if s.set == nil {
+					s.noteFloodStart(addr)
+					return
 				}
+				dev, ok := s.devByAddr[addr]
+				if !ok {
+					return
+				}
+				lp := dev.container.Node().LP()
+				lp.SendFunc(s.set.CtlLP(), lp.Shard().Sched().Now(),
+					func(sim.Time) { s.noteFloodStart(addr) })
 			},
 		},
 		CNC: mirai.CNCConfig{
 			ReplayAttackCommand: s.cfg.CNCReplayAttack,
+			// Registration callbacks execute on the attacker hub's
+			// shard; run-wide state they touch is only otherwise
+			// written at barriers, so plain calls stay race-free.
+			// Timestamps come from the hub clock, not the lagging
+			// control clock.
 			OnBotRegistered: func(addr netip.Addr, arch string) {
 				if !s.registeredEver[addr] {
 					s.registeredEver[addr] = true
 					s.results.BotsRegistered++
 				}
-				s.timeline.Record(s.sched.Now(), EventBotJoined, s.devName(addr))
+				s.timeline.Record(s.hubNow(), EventBotJoined, s.devName(addr))
 			},
 			OnBotLost: func(addr netip.Addr) {
-				s.timeline.Record(s.sched.Now(), EventBotLost, s.devName(addr))
+				s.timeline.Record(s.hubNow(), EventBotLost, s.devName(addr))
 			},
 		},
 	}
@@ -398,20 +548,32 @@ func (s *Simulation) deployAttacker() error {
 			Skip:    []netip.Addr{s.tserver.Addr4()},
 		}
 	}
-	atk, err := attacker.Deploy(s.engine, atkCfg)
+	if s.set != nil {
+		// The conservative kernel needs every link latency at or above
+		// the lookahead; the attacker's default 1 ms uplink would
+		// undercut a 2 ms epoch. Classic runs keep the default so the
+		// legacy artifact family is untouched.
+		atkCfg.LinkDelay = s.cfg.LinkDelay
+	}
+	atkLP := s.primeLP(0)
+	var atk *attacker.Attacker
+	var err error
+	s.withLP(atkLP, func() { atk, err = attacker.Deploy(s.engine, atkCfg) })
 	if err != nil {
 		return err
 	}
 	s.attacker = atk
 
 	if s.cfg.Vector == VectorCredentials {
+		// Loader callbacks execute on the attacker hub's shard, like
+		// the CNC registration hooks above.
 		s.loader = mirai.NewLoader(mirai.LoaderConfig{
 			InfectionCommand: exploit.InfectionCommand(atk.ScriptURL()),
 			OnReport: func(victim netip.Addr) {
 				if _, seen := s.firstReport[victim]; seen {
 					return
 				}
-				now := s.sched.Now()
+				now := s.hubNow()
 				s.firstReport[victim] = now
 				// Scan phase: run start → a scanner first cracked the
 				// victim and reported it.
@@ -424,7 +586,7 @@ func (s *Simulation) deployAttacker() error {
 					return
 				}
 				if !s.infectedDevs[dev.name] {
-					now := s.sched.Now()
+					now := s.hubNow()
 					s.infectedDevs[dev.name] = true
 					s.results.Infected++
 					s.obs.Metrics.Counter("infections_total", "Devs recruited into the botnet").Inc()
@@ -440,10 +602,29 @@ func (s *Simulation) deployAttacker() error {
 				}
 			},
 		})
-		atk.Container.Spawn(s.loader)
-		atk.Container.Spawn(mirai.SeedScannerBehavior(atk.BotTemplate.Scan, s.cfg.SeedCount))
+		s.withLP(atkLP, func() {
+			atk.Container.Spawn(s.loader)
+			atk.Container.Spawn(mirai.SeedScannerBehavior(atk.BotTemplate.Scan, s.cfg.SeedCount))
+		})
 	}
 	return nil
+}
+
+// noteFloodStart is the flood-start bookkeeping: on the classic path
+// it runs inline from the bot; sharded it runs as a control event at
+// the barrier after the start, with Now() equal to the start instant.
+func (s *Simulation) noteFloodStart(addr netip.Addr) {
+	now := s.sched.Now()
+	s.timeline.Record(now, EventFloodStart, s.devName(addr))
+	s.obs.Trace.Event(now, obs.CatCNC, "flood-start",
+		obs.KV{K: "dev", V: s.devName(addr)})
+	if s.attackIssued {
+		at := s.results.AttackIssuedAt
+		s.obs.Trace.RecordSpan(at, now, obs.CatKillChain, "attack",
+			obs.KV{K: "dev", V: s.devName(addr)})
+		s.winCmdSum += (now - at).Seconds()
+		s.winCmdN++
+	}
 }
 
 func (s *Simulation) devName(addr netip.Addr) string {
@@ -456,13 +637,16 @@ func (s *Simulation) devName(addr netip.Addr) string {
 func (s *Simulation) deployTServer() error {
 	// TServer is an NS-3-style node, not a container (§II-C): modest
 	// uplink, a downlink wide enough to be the shared bottleneck.
-	s.tserver = s.star.AttachHostAsym("tserver",
-		10*netsim.Mbps, s.cfg.TServerDownlink, s.cfg.LinkDelay, netsim.DefaultQueueLimit)
-	sink, err := netsim.InstallSink(s.tserver, s.cfg.AttackPort)
+	lp := s.primeLP(0)
+	var err error
+	s.withLP(lp, func() {
+		s.tserver = s.star.AttachHostAsym("tserver",
+			10*netsim.Mbps, s.cfg.TServerDownlink, s.cfg.LinkDelay, netsim.DefaultQueueLimit)
+		s.sink, err = netsim.InstallSink(s.tserver, s.cfg.AttackPort)
+	})
 	if err != nil {
 		return fmt.Errorf("core: tserver sink: %w", err)
 	}
-	s.sink = sink
 	return nil
 }
 
@@ -499,25 +683,33 @@ func (s *Simulation) deployTelnetDevs() error {
 			cred = telnetd.MiraiDictionary[rng.Intn(len(telnetd.MiraiDictionary))]
 			s.results.WeakCredDevs++
 		}
-		c, err := s.engine.Create(img.Ref(), name, container.LinkConfig{
-			Rate: rate, Delay: s.cfg.LinkDelay, QueueLimit: s.cfg.DevQueueLimit,
+		lp := s.primeLP(s.devShardFor(i))
+		var c *container.Container
+		var err error
+		s.withLP(lp, func() {
+			c, err = s.engine.Create(img.Ref(), name, container.LinkConfig{
+				Rate: rate, Delay: s.cfg.LinkDelay, QueueLimit: s.cfg.DevQueueLimit,
+			})
+			if err != nil {
+				return
+			}
+			dev := &Dev{name: name, binary: BinaryTelnetd, rate: rate, container: c}
+			s.devs = append(s.devs, dev)
+			s.devByAddr[c.Node().Addr4()] = dev
+			if err = c.Start(); err != nil {
+				return
+			}
+			c.Spawn(telnetd.New(telnetd.Config{Cred: cred}))
+			dev.respawn = func() bool {
+				if c.FindByTCPPort(23) != nil {
+					return false
+				}
+				c.Spawn(telnetd.New(telnetd.Config{Cred: cred}))
+				return true
+			}
 		})
 		if err != nil {
 			return fmt.Errorf("core: dev %s: %w", name, err)
-		}
-		dev := &Dev{name: name, binary: BinaryTelnetd, rate: rate, container: c}
-		s.devs = append(s.devs, dev)
-		s.devByAddr[c.Node().Addr4()] = dev
-		if err := c.Start(); err != nil {
-			return fmt.Errorf("core: dev %s: %w", name, err)
-		}
-		c.Spawn(telnetd.New(telnetd.Config{Cred: cred}))
-		dev.respawn = func() bool {
-			if c.FindByTCPPort(23) != nil {
-				return false
-			}
-			c.Spawn(telnetd.New(telnetd.Config{Cred: cred}))
-			return true
 		}
 	}
 	return nil
@@ -567,50 +759,58 @@ func (s *Simulation) deployVulnDaemonDevs() error {
 		if bin == BinaryDnsmasq {
 			ref = dnsmasqImg.Ref()
 		}
-		c, err := s.engine.Create(ref, name, container.LinkConfig{
-			Rate: rate, Delay: s.cfg.LinkDelay, QueueLimit: s.cfg.DevQueueLimit,
+		lp := s.primeLP(s.devShardFor(i))
+		var c *container.Container
+		var err error
+		s.withLP(lp, func() {
+			c, err = s.engine.Create(ref, name, container.LinkConfig{
+				Rate: rate, Delay: s.cfg.LinkDelay, QueueLimit: s.cfg.DevQueueLimit,
+			})
+			if err != nil {
+				return
+			}
+			dev := &Dev{name: name, binary: bin, prot: prot, rate: rate, container: c}
+			s.devs = append(s.devs, dev)
+			s.devByAddr[c.Node().Addr4()] = dev
+
+			if err = c.Start(); err != nil {
+				return
+			}
+			if s.cfg.RemoveCurl {
+				c.RemoveCommand("curl")
+				c.RemoveCommand("wget")
+			}
+			outcome := s.routeOutcome(dev, s.outcomeHook(dev))
+			switch bin {
+			case BinaryConnman:
+				// §V-C: Devs are manually pointed at the malicious DNS
+				// server.
+				c.FS().Write("/etc/resolv.conf",
+					[]byte("nameserver "+s.attacker.Container.Node().Addr4().String()+"\n"))
+				spawn := func() {
+					c.Spawn(connman.New(connman.Config{
+						Protections: prot,
+						QueryPeriod: s.cfg.ConnmanQueryPeriod,
+						Program:     connmanProg,
+						OnOutcome:   outcome,
+					}))
+				}
+				spawn()
+				dev.respawn = daemonRespawn(c, imagecat.BinConnman, spawn)
+			case BinaryDnsmasq:
+				spawn := func() {
+					c.Spawn(dnsmasq.New(dnsmasq.Config{
+						Protections: prot,
+						Program:     dnsmasqProg,
+						OnOutcome:   outcome,
+					}))
+				}
+				spawn()
+				dev.respawn = daemonRespawn(c, imagecat.BinDnsmasq, spawn)
+			}
 		})
 		if err != nil {
 			return fmt.Errorf("core: dev %s: %w", name, err)
-		}
-		dev := &Dev{name: name, binary: bin, prot: prot, rate: rate, container: c}
-		s.devs = append(s.devs, dev)
-		s.devByAddr[c.Node().Addr4()] = dev
-
-		if err := c.Start(); err != nil {
-			return fmt.Errorf("core: dev %s: %w", name, err)
-		}
-		if s.cfg.RemoveCurl {
-			c.RemoveCommand("curl")
-			c.RemoveCommand("wget")
-		}
-		outcome := s.outcomeHook(dev)
-		switch bin {
-		case BinaryConnman:
-			// §V-C: Devs are manually pointed at the malicious DNS
-			// server.
-			c.FS().Write("/etc/resolv.conf",
-				[]byte("nameserver "+s.attacker.Container.Node().Addr4().String()+"\n"))
-			spawn := func() {
-				c.Spawn(connman.New(connman.Config{
-					Protections: prot,
-					QueryPeriod: s.cfg.ConnmanQueryPeriod,
-					Program:     connmanProg,
-					OnOutcome:   outcome,
-				}))
-			}
-			spawn()
-			dev.respawn = daemonRespawn(c, imagecat.BinConnman, spawn)
-		case BinaryDnsmasq:
-			spawn := func() {
-				c.Spawn(dnsmasq.New(dnsmasq.Config{
-					Protections: prot,
-					Program:     dnsmasqProg,
-					OnOutcome:   outcome,
-				}))
-			}
-			spawn()
-			dev.respawn = daemonRespawn(c, imagecat.BinDnsmasq, spawn)
 		}
 	}
 	return nil
@@ -627,6 +827,23 @@ func daemonRespawn(c *container.Container, title string, spawn func()) func() bo
 		}
 		spawn()
 		return true
+	}
+}
+
+// routeOutcome adapts a Dev's exploit-outcome hook for the sharded
+// kernel: the daemon parses payloads on its own shard, but the hook
+// mutates run-wide state (results, timeline, trace), so it rides a
+// control message to the next barrier. The control clock equals the
+// message timestamp when it runs, so every Now() read inside the hook
+// still sees the originating instant.
+func (s *Simulation) routeOutcome(dev *Dev, inner func(procvm.HijackOutcome)) func(procvm.HijackOutcome) {
+	if s.set == nil {
+		return inner
+	}
+	ctl := s.set.CtlLP()
+	return func(out procvm.HijackOutcome) {
+		lp := dev.container.Node().LP()
+		lp.SendFunc(ctl, lp.Shard().Sched().Now(), func(sim.Time) { inner(out) })
 	}
 }
 
@@ -678,7 +895,7 @@ func (s *Simulation) snapshot() resources.Snapshot {
 	return resources.Snapshot{
 		ContainerBytes:  s.engine.TotalMemBytes(),
 		TxFrames:        st.TxFrames,
-		EventsProcessed: s.sched.Processed(),
+		EventsProcessed: s.processed(),
 		PeakQueued:      st.PeakQueued,
 	}
 }
@@ -713,7 +930,7 @@ func (s *Simulation) Run() (*Results, error) {
 	// the per-second sampler of the scheduler queue-depth gauge.
 	queueDepth := s.obs.Metrics.Gauge("sim_queue_depth", "scheduler events pending right now")
 	watcher := sim.NewTicker(s.sched, sim.Second, func() {
-		queueDepth.Set(float64(s.sched.Pending()))
+		queueDepth.Set(float64(s.pending()))
 		if s.attackIssued {
 			return
 		}
@@ -733,12 +950,16 @@ func (s *Simulation) Run() (*Results, error) {
 	windowTicker.Source = "obs.windows"
 	windowTicker.Start()
 
-	if err := s.sched.Run(s.cfg.SimDuration); err != nil {
+	if s.set != nil {
+		if err := s.set.Run(s.cfg.SimDuration); err != nil {
+			return nil, fmt.Errorf("core: run: %w", err)
+		}
+	} else if err := s.sched.Run(s.cfg.SimDuration); err != nil {
 		return nil, fmt.Errorf("core: run: %w", err)
 	}
 	watcher.Stop()
 	windowTicker.Stop()
-	s.net.Flows().Stop()
+	s.net.StopFlows()
 	s.churnCtl.Stop()
 	if s.faults != nil {
 		s.faults.Stop()
@@ -772,13 +993,19 @@ func (s *Simulation) issueAttack() {
 	// Flood flows open after this instant; label them by their exact
 	// target endpoint so the exported dataset separates attack traffic
 	// from everything else.
-	s.net.Flows().AddLabelRule(netsim.FlowLabelRule{
+	s.net.AddFlowLabelRule(netsim.FlowLabelRule{
 		Endpoint: netip.AddrPortFrom(target, s.cfg.AttackPort), Label: "attack"})
-	n := s.attacker.CNC.LaunchAttack(mirai.AttackCommand{
-		Method:   method,
-		Target:   target,
-		Port:     s.cfg.AttackPort,
-		Duration: s.cfg.AttackDuration,
+	// issueAttack runs on the control plane; under the sharded kernel
+	// the C&C's command packets must be attributed to the attacker
+	// hub's logical process.
+	var n int
+	s.withLP(s.atkLP(), func() {
+		n = s.attacker.CNC.LaunchAttack(mirai.AttackCommand{
+			Method:   method,
+			Target:   target,
+			Port:     s.cfg.AttackPort,
+			Duration: s.cfg.AttackDuration,
+		})
 	})
 	s.results.BotsAtCommand = n
 	s.timeline.Record(now, EventAttackOrder, fmt.Sprintf("%d bots", n))
@@ -807,7 +1034,17 @@ func (s *Simulation) assemble() {
 	// when the ticker already sampled this instant) and close every
 	// still-open flow so the dataset accounts each offered packet.
 	s.windows.Sample(s.sched.Now())
-	s.net.Flows().FlushAll(s.sched.Now())
+	s.net.FlushFlows(s.sched.Now())
+	if s.set != nil {
+		// Merge the per-shard export buffers into the canonical
+		// dataset: records sort by flow identity, independent of which
+		// partition exported them.
+		s.flowBuf = s.net.FlowDataset()
+		if s.flowBuf == nil {
+			s.flowBuf = &obs.FlowBuffer{}
+		}
+		s.net.SyncGauges()
+	}
 	r.Flows = s.flowBuf.Stats()
 	r.NetStats = s.net.Stats()
 	r.ChurnDepartures = s.churnCtl.Departures()
@@ -820,15 +1057,20 @@ func (s *Simulation) assemble() {
 		r.Faults = &st
 	}
 
-	// Seal the observability layer: close dangling phase spans, mirror
+	// Seal the observability layer: close dangling phase spans, merge
+	// the per-shard trace buffers into one deterministic stream, mirror
 	// the kernel counters into the registry, and condense a summary.
 	s.obs.Trace.CloseOpenSpans(s.sched.Now())
+	if s.set != nil {
+		s.obs.Trace = obs.MergeTracers(
+			append([]*obs.Tracer{s.obs.Trace}, s.net.ShardTracers()...)...)
+	}
 	r.Phases = obs.SummarizePhases(s.obs.Trace.Spans(), obs.CatKillChain, faults.CatFault)
 	reg := s.obs.Metrics
 	reg.Gauge("sim_events_processed", "scheduler events executed this run").
-		Set(float64(s.sched.Processed()))
+		Set(float64(s.processed()))
 	reg.Gauge("sim_queue_depth", "scheduler events pending right now").
-		Set(float64(s.sched.Pending()))
+		Set(float64(s.pending()))
 	if r.AttackIssuedAt > 0 {
 		reg.Gauge("infections_per_sec", "mean infections per second up to the attack order").
 			Set(float64(r.Infected) / r.AttackIssuedAt.Seconds())
@@ -836,6 +1078,13 @@ func (s *Simulation) assemble() {
 	reg.Gauge("sink_rx_bytes_total", "attack bytes TServer's sink logged").
 		Set(float64(r.SinkBytes))
 	r.Obs = s.obs.Summarize()
+	if s.set != nil {
+		// The profiler hooks only the control scheduler in sharded mode
+		// (a shared hook on worker schedulers would race); the kernel's
+		// own counter covers every shard and is partition-invariant —
+		// each logical event executes exactly once wherever its LP lives.
+		r.Obs.EventsDelivered = s.processed()
+	}
 
 	if s.attackIssued {
 		from := int64(r.AttackIssuedAt / sim.Second)

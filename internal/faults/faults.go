@@ -55,6 +55,7 @@ const (
 // seedMix separates the injector's RNG stream from the scheduler's and
 // core's fleet stream; fault draws must not perturb either.
 const seedMix = 0xfa017
+
 // Config declares a fault scenario. The zero value injects nothing.
 // Every *Period is the mean (or exact, for periodic flaps) interval
 // between fault arrivals per target; a zero period disables that fault
@@ -369,7 +370,7 @@ func (inj *Injector) flap(lt *linkTarget) {
 		return
 	}
 	lt.flapped = true
-	lt.dev.SetUp(false) //simlint:allow crossnode(fault injector drives link state from the control plane; becomes a partition message under the sharded kernel — ROADMAP item 1)
+	inj.sched.Barrier(func() { lt.dev.SetUp(false) })
 	inj.stats.LinkFlaps++
 	span := inj.trace.BeginSpan(inj.sched.Now(), CatFault, "link-flap", obs.KV{K: "target", V: lt.name})
 	inj.emit(EventLinkDown, lt.name, "flap")
@@ -379,7 +380,7 @@ func (inj *Injector) flap(lt *linkTarget) {
 		// Restore only if nothing else (churn) brought the link up in
 		// the meantime.
 		if !lt.dev.IsUp() {
-			lt.dev.SetUp(true) //simlint:allow crossnode(fault injector restores link state from the control plane; becomes a partition message under the sharded kernel — ROADMAP item 1)
+			inj.sched.Barrier(func() { lt.dev.SetUp(true) })
 			inj.emit(EventLinkUp, lt.name, "")
 		}
 	})
@@ -392,14 +393,14 @@ func (inj *Injector) burst(lt *linkTarget) {
 		return
 	}
 	lt.bursting = true
-	lt.dev.SetLossRate(inj.cfg.BurstLoss) //simlint:allow crossnode(loss-burst control plane sets device loss rate; becomes a partition message under the sharded kernel — ROADMAP item 1)
+	inj.sched.Barrier(func() { lt.dev.SetLossRate(inj.cfg.BurstLoss) })
 	inj.stats.LossBursts++
 	span := inj.trace.BeginSpan(inj.sched.Now(), CatFault, "loss-burst",
 		obs.KV{K: "target", V: lt.name}, obs.KV{K: "loss", V: fmt.Sprintf("%.3f", inj.cfg.BurstLoss)})
 	inj.emit(EventBurstStart, lt.name, "burst")
 	inj.after(inj.exp(inj.cfg.BurstMean), func() {
 		lt.bursting = false
-		lt.dev.SetLossRate(0) //simlint:allow crossnode(loss-burst control plane restores device loss rate; becomes a partition message under the sharded kernel — ROADMAP item 1)
+		inj.sched.Barrier(func() { lt.dev.SetLossRate(0) })
 		inj.trace.EndSpan(span, inj.sched.Now())
 		inj.emit(EventBurstEnd, lt.name, "")
 		inj.after(inj.exp(inj.cfg.BurstGap), func() { inj.burst(lt) })
@@ -423,22 +424,26 @@ func (inj *Injector) degrade(lt *linkTarget) {
 	if newRate < netsim.DataRate(1) {
 		newRate = 1
 	}
-	lt.dev.SetRate(newRate) //simlint:allow crossnode(degrade window sets device rate from the control plane; becomes a partition message under the sharded kernel — ROADMAP item 1)
-	if inj.cfg.DegradeQueueFactor < 1 {
-		q := int(float64(lt.origQueue) * inj.cfg.DegradeQueueFactor)
-		if q < 1 {
-			q = 1
+	inj.sched.Barrier(func() {
+		lt.dev.SetRate(newRate)
+		if inj.cfg.DegradeQueueFactor < 1 {
+			q := int(float64(lt.origQueue) * inj.cfg.DegradeQueueFactor)
+			if q < 1 {
+				q = 1
+			}
+			lt.dev.SetQueueLimit(q)
 		}
-		lt.dev.SetQueueLimit(q) //simlint:allow crossnode(degrade window sets device queue limit from the control plane; becomes a partition message under the sharded kernel — ROADMAP item 1)
-	}
+	})
 	inj.stats.DegradeWindows++
 	span := inj.trace.BeginSpan(inj.sched.Now(), CatFault, "degrade",
 		obs.KV{K: "target", V: lt.name}, obs.KV{K: "factor", V: fmt.Sprintf("%.2f", inj.cfg.DegradeFactor)})
 	inj.emit(EventDegradeOn, lt.name, "degrade")
 	inj.after(inj.cfg.DegradeDown, func() {
 		lt.degraded = false
-		lt.dev.SetRate(lt.origRate) //simlint:allow crossnode(degrade window restores device rate+queue from the control plane; becomes a partition message under the sharded kernel — ROADMAP item 1)
-		lt.dev.SetQueueLimit(lt.origQueue)
+		inj.sched.Barrier(func() {
+			lt.dev.SetRate(lt.origRate)
+			lt.dev.SetQueueLimit(lt.origQueue)
+		})
 		inj.trace.EndSpan(span, inj.sched.Now())
 		inj.emit(EventDegradeOff, lt.name, "")
 		reschedule()
@@ -479,7 +484,7 @@ func (inj *Injector) cncOutage() {
 		return
 	}
 	lt.flapped = true
-	lt.dev.SetUp(false) //simlint:allow crossnode(C&C outage drives the uplink from the control plane; becomes a partition message under the sharded kernel — ROADMAP item 1)
+	inj.sched.Barrier(func() { lt.dev.SetUp(false) })
 	inj.stats.CNCOutages++
 	span := inj.trace.BeginSpan(inj.sched.Now(), CatFault, "cnc-outage", obs.KV{K: "target", V: lt.name})
 	inj.emit(EventCNCDown, lt.name, "cnc")
@@ -487,7 +492,7 @@ func (inj *Injector) cncOutage() {
 		lt.flapped = false
 		inj.trace.EndSpan(span, inj.sched.Now())
 		if !lt.dev.IsUp() {
-			lt.dev.SetUp(true) //simlint:allow crossnode(C&C outage restores the uplink from the control plane; becomes a partition message under the sharded kernel — ROADMAP item 1)
+			inj.sched.Barrier(func() { lt.dev.SetUp(true) })
 			inj.emit(EventCNCUp, lt.name, "")
 		}
 	})

@@ -64,14 +64,14 @@ func TestParseSpec(t *testing.T) {
 		t.Fatalf("empty spec: %+v, %v", cfg, err)
 	}
 	for _, bad := range []string{
-		"flap",                  // no key=val
-		"meteor:period=9s",      // unknown kind
-		"flap:interval=9s",      // unknown key
-		"loss:rate=high",        // not a number
-		"flap:period=-5s",       // negative duration
-		"crash:period=ten",      // not a duration
-		"loss:rate=1.2",         // fails Validate
-		"intensity=2",           // out of range
+		"flap",                                 // no key=val
+		"meteor:period=9s",                     // unknown kind
+		"flap:interval=9s",                     // unknown key
+		"loss:rate=high",                       // not a number
+		"flap:period=-5s",                      // negative duration
+		"crash:period=ten",                     // not a duration
+		"loss:rate=1.2",                        // fails Validate
+		"intensity=2",                          // out of range
 		"degrade:period=5s,factor=0,qfactor=0", // fails Validate
 	} {
 		if _, err := ParseSpec(bad); err == nil {
@@ -136,14 +136,14 @@ func faultLog(t *testing.T, seed int64) []string {
 	t.Helper()
 	sched, devs := testLinks(t, seed, 3)
 	cfg := Config{
-		FlapPeriod:      40 * sim.Second,
-		BurstLoss:       1.0,
-		BurstGap:        30 * sim.Second,
-		DegradePeriod:   50 * sim.Second,
-		DegradeFactor:   0.25,
-		CrashPeriod:     60 * sim.Second,
-		CNCCrashPeriod:  90 * sim.Second,
-		CNCOutagePeriod: 80 * sim.Second,
+		FlapPeriod:       40 * sim.Second,
+		BurstLoss:        1.0,
+		BurstGap:         30 * sim.Second,
+		DegradePeriod:    50 * sim.Second,
+		DegradeFactor:    0.25,
+		CrashPeriod:      60 * sim.Second,
+		CNCCrashPeriod:   90 * sim.Second,
+		CNCOutagePeriod:  80 * sim.Second,
 		SinkOutagePeriod: 70 * sim.Second,
 	}
 	inj, err := New(sched, cfg, seed, nil)

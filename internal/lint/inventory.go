@@ -4,10 +4,12 @@ package lint
 // the tree into the work-list artifact behind `cmd/simlint
 // -inventory`: every shared-state access site a scheduler-reachable
 // handler performs, with the reachability chain that makes it run at
-// event time. The sharding PR consumes this — "violation" rows are
-// blockers, "allowed" rows are audited suppressions to re-review, and
+// event time. The sharding work consumes this — "violation" rows are
+// blockers, "allowed" rows are audited suppressions to re-review,
 // "boundary" rows are the sanctioned message-path crossings the
-// partitioned kernel will carry as timestamped messages.
+// partitioned kernel carries as timestamped messages, and "barrier"
+// rows are control-plane mutations that execute with every shard
+// worker parked (ShardSet.WithLP / Scheduler.Barrier bodies).
 
 import (
 	"go/token"
@@ -24,8 +26,10 @@ type InventoryEntry struct {
 	// empty for boundary rows.
 	Analyzer string `json:"analyzer,omitempty"`
 	// Class: "violation" (surfaces as a diagnostic), "allowed"
-	// (suppressed by an audited //simlint:allow), or "boundary" (a
-	// sanctioned message-path call).
+	// (suppressed by an audited //simlint:allow), "boundary" (a
+	// sanctioned message-path call), or "barrier" (a partition
+	// mutation inside a ShardSet.WithLP / Scheduler.Barrier body —
+	// world-stopped, sanctioned).
 	Class string `json:"class"`
 	// Subject is the state touched: a type for partition state, a
 	// variable name for globals.

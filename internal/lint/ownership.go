@@ -76,10 +76,17 @@ func DefaultOwnConfig() *OwnConfig {
 			netsim + ".Network.getPacket":   true,
 			netsim + ".Network.clonePacket": true,
 			netsim + ".Packet.Clone":        true,
+			// Node-level pool surface: under the sharded kernel packets
+			// come from the node's shard-local pool, not the network's.
+			netsim + ".Node.AllocPacket": true,
+			netsim + ".Node.getPacket":   true,
+			netsim + ".Node.clonePacket": true,
 		},
 		Releases: map[string]bool{
 			netsim + ".Network.ReleasePacket": true,
 			netsim + ".Network.putPacket":     true,
+			netsim + ".Node.ReleasePacket":    true,
+			netsim + ".Node.putPacket":        true,
 		},
 		Consumes: map[string]bool{
 			netsim + ".Node.SendPacket": true,

@@ -21,7 +21,10 @@ package lint
 //     those run, so it assumes event time. Literals handed to
 //     standard-library callees (sort.Slice and friends) are exempt —
 //     the stdlib never schedules simulator events, it only calls back
-//     synchronously;
+//     synchronously. Literals handed to a ConfineConfig.Barriers
+//     runner (ShardSet.WithLP, Scheduler.Barrier) are likewise
+//     synchronous, but their bodies are remembered as barrier context:
+//     mutations inside them are the sanctioned world-stopped idiom;
 //   - every function a reachable unit calls, including interface
 //     calls resolved by class-hierarchy analysis over the named types
 //     of the run, and every literal nested inside a reachable body.
@@ -54,9 +57,32 @@ type confUnit struct {
 	root    bool
 	rootWhy string // how the unit became a handler root
 
+	// barrier marks a literal handed to a ConfineConfig.Barriers
+	// runner: its body executes at an epoch barrier (or during
+	// single-threaded setup) with every shard worker parked, so its
+	// cross-partition mutations are inventoried, not reported.
+	barrier bool
+
 	reached bool
 	from    *confUnit // BFS discovery parent
 	fromPos token.Pos // call/containment site on the discovery path
+}
+
+// inBarrier reports whether the unit's body executes in barrier
+// context: it is, or is lexically inside, a barrier-runner literal,
+// with no handler-root boundary in between. A root in the lexical
+// chain cuts the context — a callback armed inside a barrier body is
+// scheduled work that runs later, with the shards live again.
+func (u *confUnit) inBarrier() bool {
+	for cur := u; cur != nil; cur = cur.encl {
+		if cur.barrier {
+			return true
+		}
+		if cur.root {
+			return false
+		}
+	}
+	return false
 }
 
 // chain renders the discovery path root → … → u for diagnostics and
@@ -160,6 +186,7 @@ func (eng *confEngine) markRoots(pkg *Package) {
 				callee := eng.funcFor(pkg, n)
 				sched := callee != nil && callee.Pkg() != nil &&
 					callee.Pkg().Path() == eng.cfg.SchedPkg && isSchedulingEntry(callee)
+				barrier := callee != nil && eng.cfg.Barriers[funcKey(callee)]
 				sync := callee != nil && callee.Pkg() != nil && !eng.inModule(callee.Pkg().Path())
 				for _, arg := range n.Args {
 					arg = ast.Unparen(arg)
@@ -169,6 +196,12 @@ func (eng *confEngine) markRoots(pkg *Package) {
 					}
 					decided[arg] = true
 					switch {
+					case barrier:
+						// Barrier-runner argument: runs synchronously on
+						// the caller's context with the world stopped —
+						// not a root; reached (if at all) through its
+						// enclosing unit, and reported in barrier mode.
+						fv.barrier = true
 					case sched:
 						eng.setRoot(fv, fmt.Sprintf("scheduled callback (%s.%s at %s)",
 							pathBase(eng.cfg.SchedPkg), callee.Name(), pos(arg.Pos())))

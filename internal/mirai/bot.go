@@ -287,8 +287,8 @@ func (b *Bot) sendRawTCP(dst netip.AddrPort, flags netsim.TCPFlags) {
 		src = node.Addr6()
 	}
 	rng := b.p.RNG()
-	pkt := node.Network().AllocPacket()
-	pkt.UID = node.Network().NextUID()
+	pkt := node.AllocPacket()
+	pkt.UID = node.NextUID()
 	pkt.Proto = netsim.ProtoTCP
 	pkt.Src = netip.AddrPortFrom(src, uint16(1024+rng.Intn(64000)))
 	pkt.Dst = dst

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"fmt"
+
 	"ddosim/internal/sim"
 )
 
@@ -64,6 +66,11 @@ const DefaultQueueLimit = 100
 func Connect(a, b *Node, rate DataRate, delay sim.Time, queueLimit int) (*NetDevice, *NetDevice) {
 	if queueLimit <= 0 {
 		queueLimit = DefaultQueueLimit
+	}
+	if set := a.net.set; set != nil && delay < set.Lookahead() {
+		// The conservative kernel's safety argument needs every
+		// cross-LP latency to be at least the epoch width.
+		panic(fmt.Sprintf("netsim: Connect(%s, %s): link delay %v below the shard lookahead %v", a.name, b.name, delay, set.Lookahead()))
 	}
 	da := &NetDevice{node: a, sched: a.sched, rate: rate, delay: delay, queueLimit: queueLimit, up: true}
 	db := &NetDevice{node: b, sched: b.sched, rate: rate, delay: delay, queueLimit: queueLimit, up: true}
@@ -139,9 +146,9 @@ func (d *NetDevice) SetUp(up bool) {
 			d.sched.Cancel(d.txEvent)
 			d.transmitting = false
 		}
-		d.node.net.addQueued(-d.queue.len())
+		d.node.addQueued(-d.queue.len())
 		for d.queue.len() > 0 {
-			d.node.net.putPacket(d.queue.pop())
+			d.node.putPacket(d.queue.pop())
 		}
 	}
 }
@@ -153,17 +160,17 @@ func (d *NetDevice) Send(pkt *Packet) {
 	pkt.sanCheck("NetDevice.Send")
 	if !d.up {
 		d.stats.DownDrops++
-		d.node.net.putPacket(pkt)
+		d.node.putPacket(pkt)
 		return
 	}
 	if d.queue.len() >= d.queueLimit {
 		d.stats.QueueDrops++
-		d.node.net.countDrop(d.node.name, "drop-tail")
-		d.node.net.putPacket(pkt)
+		d.node.countDrop("drop-tail")
+		d.node.putPacket(pkt)
 		return
 	}
 	d.queue.push(pkt)
-	d.node.net.addQueued(1)
+	d.node.addQueued(1)
 	if d.queue.len() > d.stats.PeakQueue {
 		d.stats.PeakQueue = d.queue.len()
 	}
@@ -197,14 +204,29 @@ func (d *NetDevice) finishTx() {
 		return
 	}
 	pkt := d.queue.pop()
-	d.node.net.addQueued(-1)
+	d.node.addQueued(-1)
 	size := pkt.Size()
 	d.stats.TxPackets++
 	d.stats.TxBytes += uint64(size)
-	d.node.net.countTx(size, pkt.Proto)
-	d.inflight.push(pkt)
-	d.sched.ScheduleSrc(d.delay, "net.prop", d.propFn)
+	d.node.countTx(size, pkt.Proto)
+	if lp := d.node.lp; lp != nil {
+		// Sharded mode: the propagating frame becomes a timestamped
+		// mailbox message to the peer's LP. Ownership transfers into
+		// the mailbox; the peer's shard receives (and retires) it.
+		// delay >= lookahead (checked at Connect) keeps the delivery
+		// time at or beyond the sender's epoch end.
+		lp.Send(d.peer.node.lp, d.sched.Now()+d.delay, d.peer, pkt, nil)
+	} else {
+		d.inflight.push(pkt)
+		d.sched.ScheduleSrc(d.delay, "net.prop", d.propFn)
+	}
 	d.transmitNext()
+}
+
+// HandleMsg implements sim.MsgHandler: a frame propagated across the
+// shard mailbox arrives at this (receiving) device.
+func (d *NetDevice) HandleMsg(_ sim.Time, a, _ any) {
+	d.receive(a.(*Packet))
 }
 
 // arriveProp delivers the oldest in-flight frame to the peer. Matching
@@ -237,13 +259,13 @@ func (d *NetDevice) receive(pkt *Packet) {
 	pkt.sanCheck("NetDevice.receive")
 	if !d.up {
 		d.stats.DownDrops++
-		d.node.net.putPacket(pkt)
+		d.node.putPacket(pkt)
 		return
 	}
 	if d.lossRate > 0 && d.sched.RNG().Float64() < d.lossRate {
 		d.stats.LossDrops++
-		d.node.net.countDrop(d.node.name, "loss")
-		d.node.net.putPacket(pkt)
+		d.node.countDrop("loss")
+		d.node.putPacket(pkt)
 		return
 	}
 	d.stats.RxPackets++

@@ -38,12 +38,18 @@ type Network struct {
 	stats NetworkStats
 
 	// Packet free list (see pool.go).
-	pool       []*Packet
-	poolReused uint64
-	poolAllocs uint64
+	pp pktPool
 
 	// Flow accounting (optional; see EnableFlows).
-	flows *FlowTable
+	flows       *FlowTable
+	flowSweeper *sim.Ticker // sharded mode: the single control-plane sweeper
+
+	// Sharded-mode bindings (see shard.go). conf is the legacy-mode
+	// confinement cell; sharded nodes use their shard context's.
+	set    *sim.ShardSet
+	ctxs   []*netShard
+	nextLP *sim.LP
+	conf   confCell
 
 	// Observability (optional; see Observe). The counters are cached
 	// here so the per-frame hot path skips the registry map lookups.
@@ -75,6 +81,9 @@ func (w *Network) Sched() *sim.Scheduler { return w.sched }
 // call with nil to detach.
 func (w *Network) Observe(o *obs.Obs) {
 	w.trace = o.Tracer()
+	if w.set != nil && w.trace != nil {
+		w.initShardTracers()
+	}
 	reg := o.Registry()
 	if reg == nil {
 		w.ctrTxFrames, w.ctrTxBytes, w.ctrDrops = nil, nil, nil
@@ -93,8 +102,35 @@ func (w *Network) Observe(o *obs.Obs) {
 	w.gaugePeak = reg.Gauge("net_queue_depth_peak", "peak frames buffered anywhere in the network")
 }
 
-// Stats returns a copy of the aggregate counters.
-func (w *Network) Stats() NetworkStats { return w.stats }
+// Stats returns a copy of the aggregate counters. Sharded mode sums
+// the per-shard partial aggregates; safe at barriers and after the
+// run. Two fields change meaning there, in partition-independent ways:
+// PacketUIDs counts per-node id issuance, and PeakQueued is the sum of
+// per-device queue high-water marks (an upper bound on the legacy
+// global-instant peak, which cannot be tracked without cross-shard
+// coordination on the hot path).
+func (w *Network) Stats() NetworkStats {
+	if w.set == nil {
+		return w.stats
+	}
+	st := w.stats // NodesBuilt and other build-time counters
+	for _, c := range w.ctxs {
+		st.TxFrames += c.stats.TxFrames
+		st.TxBytes += c.stats.TxBytes
+		st.Drops += c.stats.Drops
+		st.QueuedNow += c.stats.QueuedNow
+		if c.stats.MaxFrameLen > st.MaxFrameLen {
+			st.MaxFrameLen = c.stats.MaxFrameLen
+		}
+	}
+	for _, n := range w.nodes {
+		st.PacketUIDs += n.uidSeq
+		for _, d := range n.devs {
+			st.PeakQueued += d.stats.PeakQueue
+		}
+	}
+	return st
+}
 
 // Nodes returns the nodes in creation order. The returned slice is a
 // copy.
@@ -116,10 +152,15 @@ func (w *Network) NewNode(name string) *Node {
 		name:      name,
 		net:       w,
 		sched:     w.sched,
+		shardID:   -1,
+		idx:       len(w.nodes),
 		addrs:     make(map[netip.Addr]bool),
 		routes:    make(map[netip.Addr]*NetDevice),
 		multicast: make(map[netip.Addr]bool),
 		udpPorts:  make(map[uint16]*UDPSocket),
+	}
+	if w.set != nil {
+		w.bindShard(n)
 	}
 	n.tcp = newTCPHost(n)
 	w.nodes = append(w.nodes, n)
@@ -198,45 +239,14 @@ func (s *Star) RouterDeviceFor(host *Node) *NetDevice {
 	return nil
 }
 
-// NextUID issues a unique packet id.
+// NextUID issues a unique packet id from the network-wide counter —
+// legacy mode only; sharded nodes issue from their own namespace
+// (Node.NextUID) so id assignment never depends on cross-shard
+// interleaving.
 func (w *Network) NextUID() uint64 {
+	if w.set != nil {
+		panic("netsim: Network.NextUID in sharded mode; issue from a Node")
+	}
 	w.stats.PacketUIDs++
 	return w.stats.PacketUIDs
-}
-
-func (w *Network) countTx(frameLen int, proto Protocol) {
-	w.stats.TxFrames++
-	w.stats.TxBytes += uint64(frameLen)
-	if frameLen > w.stats.MaxFrameLen {
-		w.stats.MaxFrameLen = frameLen
-	}
-	w.ctrTxFrames.Inc()
-	w.ctrTxBytes.Add(uint64(frameLen))
-	if int(proto) < len(w.ctrTxByProto) {
-		w.ctrTxByProto[proto].Add(uint64(frameLen))
-	}
-}
-
-// countDrop tallies one dropped frame at node, both in the aggregate
-// stats and — when observability is attached — as a counter increment
-// and a trace point event identifying where the drop happened.
-func (w *Network) countDrop(node, reason string) {
-	w.stats.Drops++
-	w.ctrDrops.Inc()
-	if w.trace != nil {
-		// Guarded even though Tracer is nil-safe: building the variadic
-		// args slice costs an allocation per drop, which an untraced
-		// flood run should not pay.
-		w.trace.Event(w.sched.Now(), obs.CatNet, "queue-drop",
-			obs.KV{K: "node", V: node}, obs.KV{K: "reason", V: reason})
-	}
-}
-
-func (w *Network) addQueued(delta int) {
-	w.stats.QueuedNow += delta
-	if w.stats.QueuedNow > w.stats.PeakQueued {
-		w.stats.PeakQueued = w.stats.QueuedNow
-	}
-	w.gaugeQueued.Set(float64(w.stats.QueuedNow))
-	w.gaugePeak.Set(float64(w.stats.PeakQueued))
 }

@@ -21,6 +21,16 @@ type Node struct {
 	net   *Network
 	sched *sim.Scheduler
 
+	// Sharded-mode identity (see shard.go): the node's logical
+	// process, its shard, its creation index (UID namespace), its
+	// per-node UID sequence, and its shard context. ctx is nil in
+	// legacy mode; shardID is -1 there.
+	lp      *sim.LP
+	ctx     *netShard
+	shardID int
+	idx     int
+	uidSeq  uint64
+
 	devs   []*NetDevice
 	addrs  map[netip.Addr]bool
 	routes map[netip.Addr]*NetDevice
@@ -163,7 +173,7 @@ func (n *Node) attach(d *NetDevice) {
 // SendPacket takes ownership of pkt (see Packet).
 func (n *Node) SendPacket(pkt *Packet) {
 	pkt.sanCheck("Node.SendPacket")
-	if ft := n.net.flows; ft != nil {
+	if ft := n.flowTable(); ft != nil {
 		// Flow accounting happens at origination so records describe
 		// offered load; see flow.go.
 		ft.record(pkt, n.sched.Now())
@@ -178,16 +188,16 @@ func (n *Node) SendPacket(pkt *Packet) {
 		//simlint:allow stalecapture(SendPacket owns pkt and transfers it into the uncancellable loopback event, which releases it)
 		n.sched.Schedule(sim.Microsecond, func() {
 			prev := confineEnter(n)
-			defer confineExit(prev)
+			defer confineExit(n, prev)
 			n.deliverLocal(pkt)
-			n.net.putPacket(pkt)
+			n.putPacket(pkt)
 		})
 		return
 	}
 	dev := n.lookupRoute(dst)
 	if dev == nil {
 		n.localDrops++
-		n.net.putPacket(pkt)
+		n.putPacket(pkt)
 		return
 	}
 	dev.Send(pkt)
@@ -206,7 +216,7 @@ func (n *Node) lookupRoute(dst netip.Addr) *NetDevice {
 // executing partition for the simdebug confinement sanitizer.
 func (n *Node) handleReceive(in *NetDevice, pkt *Packet) {
 	prev := confineEnter(n)
-	defer confineExit(prev)
+	defer confineExit(n, prev)
 	n.receiveIP(in, pkt)
 }
 
@@ -220,21 +230,21 @@ func (n *Node) receiveIP(in *NetDevice, pkt *Packet) {
 		if n.forward {
 			n.floodMulticast(in, pkt)
 		}
-		n.net.putPacket(pkt)
+		n.putPacket(pkt)
 	case n.addrs[dst]:
 		n.deliverLocal(pkt)
-		n.net.putPacket(pkt)
+		n.putPacket(pkt)
 	case n.forward:
 		dev := n.lookupRoute(dst)
 		if dev == nil || dev == in {
 			n.localDrops++
-			n.net.putPacket(pkt)
+			n.putPacket(pkt)
 			return
 		}
 		dev.Send(pkt)
 	default:
 		n.localDrops++
-		n.net.putPacket(pkt)
+		n.putPacket(pkt)
 	}
 }
 
@@ -248,7 +258,7 @@ func (n *Node) floodMulticast(in *NetDevice, pkt *Packet) {
 		if d == in {
 			continue
 		}
-		d.Send(n.net.clonePacket(pkt))
+		d.Send(n.clonePacket(pkt))
 	}
 }
 

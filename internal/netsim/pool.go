@@ -2,63 +2,45 @@ package netsim
 
 // Packet pooling. The UDP flood is the simulator's hottest producer:
 // one datagram per event for the whole attack window. Recycling the
-// Packet structs through a per-network free list makes the steady-state
-// flood path allocation-free. See the ownership rules on Packet.
+// Packet structs through a free list makes the steady-state flood path
+// allocation-free. See the ownership rules on Packet.
+//
+// Legacy (single-threaded) mode keeps one free list on the Network.
+// Sharded mode keeps one free list per shard context (netShard), owned
+// by that shard's worker goroutine: a node always allocates from its
+// own shard's pool, and a packet retires into the pool of whichever
+// shard it died on. Structs therefore migrate between pools with
+// cross-shard traffic — harmless, because recycled packets are zeroed
+// and pooling is unobservable by design.
 
 // packetPoolCap bounds the free list so a burst (a deep drop-tail queue
 // draining at once) cannot pin an unbounded number of dead structs.
 const packetPoolCap = 4096
 
-// PoolStats reports packet free-list effectiveness.
-type PoolStats struct {
-	// Reused counts allocations served from the free list.
-	Reused uint64
-	// Allocated counts packets that had to be heap-allocated.
-	Allocated uint64
-	// Free is the current free-list depth.
-	Free int
+// pktPool is one packet free list with its effectiveness counters.
+type pktPool struct {
+	free   []*Packet
+	reused uint64
+	allocs uint64
 }
 
-// PoolStats returns the packet free-list counters.
-func (w *Network) PoolStats() PoolStats {
-	return PoolStats{Reused: w.poolReused, Allocated: w.poolAllocs, Free: len(w.pool)}
-}
-
-// AllocPacket returns a zeroed packet, recycled when possible. The
-// caller populates it and hands it to Node.SendPacket or NetDevice.Send
-// exactly once; ownership transfers with the send (see Packet).
-// Plain &Packet{} literals remain valid senders — they simply join the
-// pool after their terminal delivery or drop.
-func (w *Network) AllocPacket() *Packet { return w.getPacket() }
-
-func (w *Network) getPacket() *Packet {
-	if n := len(w.pool); n > 0 {
-		p := w.pool[n-1]
-		w.pool[n-1] = nil
-		w.pool = w.pool[:n-1]
-		w.poolReused++
+func (pp *pktPool) get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		pp.reused++
 		p.sanUnpoison()
 		p.sanAlloc()
 		return p
 	}
-	w.poolAllocs++
+	pp.allocs++
 	p := &Packet{}
 	p.sanAlloc()
 	return p
 }
 
-// ReleasePacket returns an allocated-but-unsent packet to the free
-// list: the undo of AllocPacket for callers that populate a packet and
-// then abort before the send would have transferred ownership. Sending
-// a released packet is a use-after-release (caught by the pktown
-// analyzer statically and the simdebug sanitizer at runtime).
-func (w *Network) ReleasePacket(p *Packet) { w.putPacket(p) }
-
-// putPacket retires a packet at its terminal point (delivered locally,
-// or dropped). The struct is zeroed — dropping its Payload and TCP
-// references — before joining the free list, so recycled packets carry
-// nothing over. Payload backing arrays are never pooled.
-func (w *Network) putPacket(p *Packet) {
+func (pp *pktPool) put(p *Packet) {
 	if p == nil {
 		return
 	}
@@ -71,17 +53,14 @@ func (w *Network) putPacket(p *Packet) {
 	*p = Packet{}
 	p.san = san
 	p.sanPoison()
-	if len(w.pool) < packetPoolCap {
-		w.pool = append(w.pool, p)
+	if len(pp.free) < packetPoolCap {
+		pp.free = append(pp.free, p)
 	}
 }
 
-// clonePacket is Packet.Clone on the free list: the struct is recycled,
-// the payload copy is fresh (receivers may retain payload slices, so
-// backing arrays are never shared with or recycled from the pool).
-func (w *Network) clonePacket(p *Packet) *Packet {
+func (pp *pktPool) clone(p *Packet) *Packet {
 	p.sanCheck("clonePacket")
-	cp := w.getPacket()
+	cp := pp.get()
 	cp.UID, cp.Proto, cp.Src, cp.Dst, cp.Pad = p.UID, p.Proto, p.Src, p.Dst, p.Pad
 	if p.Payload != nil {
 		cp.Payload = make([]byte, len(p.Payload))
@@ -93,6 +72,80 @@ func (w *Network) clonePacket(p *Packet) *Packet {
 	}
 	return cp
 }
+
+// PoolStats reports packet free-list effectiveness.
+type PoolStats struct {
+	// Reused counts allocations served from the free list.
+	Reused uint64
+	// Allocated counts packets that had to be heap-allocated.
+	Allocated uint64
+	// Free is the current free-list depth.
+	Free int
+}
+
+// PoolStats returns the packet free-list counters, summed over the
+// per-shard pools in sharded mode. Note the reused/allocated split is
+// partition-dependent there (structs migrate between pools), so
+// sharded-mode reports must not serialize it.
+func (w *Network) PoolStats() PoolStats {
+	st := PoolStats{Reused: w.pp.reused, Allocated: w.pp.allocs, Free: len(w.pp.free)}
+	for _, c := range w.ctxs {
+		st.Reused += c.pp.reused
+		st.Allocated += c.pp.allocs
+		st.Free += len(c.pp.free)
+	}
+	return st
+}
+
+// pool returns the free list this node allocates from and retires to:
+// its shard context's in sharded mode, the network-wide one otherwise.
+func (n *Node) pool() *pktPool {
+	if n.ctx != nil {
+		return &n.ctx.pp
+	}
+	return &n.net.pp
+}
+
+// AllocPacket returns a zeroed packet, recycled when possible. The
+// caller populates it and hands it to Node.SendPacket or NetDevice.Send
+// exactly once; ownership transfers with the send (see Packet).
+// Plain &Packet{} literals remain valid senders — they simply join the
+// pool after their terminal delivery or drop.
+func (n *Node) AllocPacket() *Packet { return n.getPacket() }
+
+// ReleasePacket returns an allocated-but-unsent packet to the free
+// list: the undo of AllocPacket for callers that populate a packet and
+// then abort before the send would have transferred ownership. Sending
+// a released packet is a use-after-release (caught by the pktown
+// analyzer statically and the simdebug sanitizer at runtime).
+func (n *Node) ReleasePacket(p *Packet) { n.putPacket(p) }
+
+func (n *Node) getPacket() *Packet        { return n.pool().get() }
+func (n *Node) putPacket(p *Packet)       { n.pool().put(p) }
+func (n *Node) clonePacket(p *Packet) *Packet { return n.pool().clone(p) }
+
+// AllocPacket is the network-wide allocator, valid only in legacy mode
+// — sharded allocations must come from a node so they draw on the
+// owning shard's pool (Node.AllocPacket).
+func (w *Network) AllocPacket() *Packet {
+	if w.set != nil {
+		panic("netsim: Network.AllocPacket in sharded mode; allocate from a Node")
+	}
+	return w.getPacket()
+}
+
+// ReleasePacket is the network-wide undo of AllocPacket (legacy mode
+// only; see Node.ReleasePacket).
+func (w *Network) ReleasePacket(p *Packet) {
+	if w.set != nil {
+		panic("netsim: Network.ReleasePacket in sharded mode; release through a Node")
+	}
+	w.putPacket(p)
+}
+
+func (w *Network) getPacket() *Packet        { return w.pp.get() }
+func (w *Network) putPacket(p *Packet)       { w.pp.put(p) }
+func (w *Network) clonePacket(p *Packet) *Packet { return w.pp.clone(p) }
 
 // pktRing is a growable FIFO of packets backed by a circular buffer —
 // the storage for a device's egress queue and in-flight window. Push

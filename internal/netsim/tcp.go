@@ -242,8 +242,8 @@ func (c *TCPConn) node() *Node { return c.host.node }
 
 func (c *TCPConn) sendSegment(flags TCPFlags, seq, ack uint32, payload []byte) {
 	n := c.node()
-	pkt := n.net.getPacket()
-	pkt.UID = n.net.NextUID()
+	pkt := n.getPacket()
+	pkt.UID = n.nextUID()
 	pkt.Proto = ProtoTCP
 	pkt.Src = c.key.local
 	pkt.Dst = c.key.remote
@@ -400,8 +400,8 @@ func (h *tcpHost) deliver(pkt *Packet) {
 }
 
 func (h *tcpHost) sendRST(in *Packet) {
-	pkt := h.node.net.getPacket()
-	pkt.UID = h.node.net.NextUID()
+	pkt := h.node.getPacket()
+	pkt.UID = h.node.nextUID()
 	pkt.Proto = ProtoTCP
 	pkt.Src = in.Dst
 	pkt.Dst = in.Src

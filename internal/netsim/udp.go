@@ -77,8 +77,8 @@ func (s *UDPSocket) SendPadded(dst netip.AddrPort, payload []byte, pad int) {
 		return
 	}
 	src := s.localAddrFor(dst.Addr())
-	pkt := s.node.net.getPacket()
-	pkt.UID = s.node.net.NextUID()
+	pkt := s.node.getPacket()
+	pkt.UID = s.node.nextUID()
 	pkt.Proto = ProtoUDP
 	pkt.Src = netip.AddrPortFrom(src, s.port)
 	pkt.Dst = dst

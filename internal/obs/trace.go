@@ -40,6 +40,13 @@ type Span struct {
 
 	seq  uint64
 	open bool
+
+	// Sharded-mode merge stamp: the emitting logical process and its
+	// private emission sequence (see Tracer.SetStamper). Zero in the
+	// legacy kernel; never serialized, so legacy artifacts are
+	// unchanged.
+	lp    uint32
+	lpSeq uint64
 }
 
 // Event is a point occurrence at one simulated instant.
@@ -50,6 +57,10 @@ type Event struct {
 	Args []KV
 
 	seq uint64
+
+	// Sharded-mode merge stamp (see Span).
+	lp    uint32
+	lpSeq uint64
 }
 
 // DefaultMaxEvents caps recorded point events so a pathological run
@@ -68,6 +79,12 @@ type Tracer struct {
 	seq     uint64
 	max     int
 	dropped uint64
+
+	// stamper supplies the (LP, per-LP emission sequence) merge stamp
+	// for sharded runs; nil in the legacy kernel. The stamp is a
+	// partition-independent total order within one LP, so per-shard
+	// tracers merge deterministically (see MergeTracers).
+	stamper func() (lp uint32, seq uint64)
 }
 
 // NewTracer returns an empty tracer with the default event cap.
@@ -83,6 +100,23 @@ func (t *Tracer) SetMaxEvents(n int) {
 	t.max = n
 }
 
+// SetStamper installs the sharded-mode emission stamper. Every
+// subsequent span or event records the stamp the hook returns at
+// emission time; MergeTracers orders entries by (time, stamp).
+func (t *Tracer) SetStamper(fn func() (lp uint32, seq uint64)) {
+	if t == nil {
+		return
+	}
+	t.stamper = fn
+}
+
+func (t *Tracer) stamp() (uint32, uint64) {
+	if t.stamper == nil {
+		return 0, 0
+	}
+	return t.stamper()
+}
+
 // Event records a point event at simulated instant at.
 func (t *Tracer) Event(at sim.Time, cat, name string, args ...KV) {
 	if t == nil {
@@ -93,7 +127,8 @@ func (t *Tracer) Event(at sim.Time, cat, name string, args ...KV) {
 		return
 	}
 	t.seq++
-	t.events = append(t.events, Event{At: at, Cat: cat, Name: name, Args: args, seq: t.seq})
+	lp, lpSeq := t.stamp()
+	t.events = append(t.events, Event{At: at, Cat: cat, Name: name, Args: args, seq: t.seq, lp: lp, lpSeq: lpSeq})
 }
 
 // BeginSpan opens a span at simulated instant at and returns its id.
@@ -103,9 +138,10 @@ func (t *Tracer) BeginSpan(at sim.Time, cat, name string, args ...KV) SpanID {
 	}
 	t.seq++
 	id := SpanID(len(t.spans))
+	lp, lpSeq := t.stamp()
 	t.spans = append(t.spans, Span{
 		ID: id, Cat: cat, Name: name, Start: at, End: at, Args: args,
-		seq: t.seq, open: true,
+		seq: t.seq, open: true, lp: lp, lpSeq: lpSeq,
 	})
 	return id
 }
@@ -140,9 +176,10 @@ func (t *Tracer) RecordSpan(start, end sim.Time, cat, name string, args ...KV) {
 		end = start
 	}
 	t.seq++
+	lp, lpSeq := t.stamp()
 	t.spans = append(t.spans, Span{
 		ID: SpanID(len(t.spans)), Cat: cat, Name: name,
-		Start: start, End: end, Args: args, seq: t.seq,
+		Start: start, End: end, Args: args, seq: t.seq, lp: lp, lpSeq: lpSeq,
 	})
 }
 
@@ -201,6 +238,83 @@ func (t *Tracer) CountEvents(cat, name string) int {
 		}
 	}
 	return n
+}
+
+// MergeTracers combines per-shard tracers into one, ordered by the
+// partition-independent key (time, emitting LP, per-LP emission
+// sequence) — the same merge the sharded kernel applies to mailbox
+// messages. Spans order by their start time. The inputs must have been
+// stamped (SetStamper); within one LP the emission sequence is a total
+// order, so the merged stream is a pure function of the run,
+// independent of the shard count. The merged tracer carries fresh
+// interleave sequence numbers and span IDs; input tracers are left
+// untouched and the sum of their drop counts is preserved.
+func MergeTracers(parts ...*Tracer) *Tracer {
+	m := NewTracer()
+	m.max = 0 // inputs already enforced their caps
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		m.spans = append(m.spans, p.spans...)
+		m.events = append(m.events, p.events...)
+		m.dropped += p.dropped
+	}
+	sort.SliceStable(m.spans, func(i, j int) bool {
+		a, b := &m.spans[i], &m.spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.lp != b.lp {
+			return a.lp < b.lp
+		}
+		return a.lpSeq < b.lpSeq
+	})
+	sort.SliceStable(m.events, func(i, j int) bool {
+		a, b := &m.events[i], &m.events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.lp != b.lp {
+			return a.lp < b.lp
+		}
+		return a.lpSeq < b.lpSeq
+	})
+	// Re-sequence the interleave: a span at (t, lp, n) precedes an
+	// event at (t, lp, m) iff n < m; ties across LPs break low-LP
+	// first, events of the same position after spans (a span's begin
+	// stamp was drawn before any same-position event's).
+	si, ei := 0, 0
+	var seq uint64
+	spanFirst := func() bool {
+		if si >= len(m.spans) {
+			return false
+		}
+		if ei >= len(m.events) {
+			return true
+		}
+		sp, ev := &m.spans[si], &m.events[ei]
+		if sp.Start != ev.At {
+			return sp.Start < ev.At
+		}
+		if sp.lp != ev.lp {
+			return sp.lp < ev.lp
+		}
+		return sp.lpSeq < ev.lpSeq
+	}
+	for si < len(m.spans) || ei < len(m.events) {
+		seq++
+		if spanFirst() {
+			m.spans[si].seq = seq
+			m.spans[si].ID = SpanID(si)
+			si++
+		} else {
+			m.events[ei].seq = seq
+			ei++
+		}
+	}
+	m.seq = seq
+	return m
 }
 
 // record is the unified JSONL row: spans carry end_us, events do not.

@@ -30,13 +30,29 @@ func (p Perm) String() string {
 	return string(b)
 }
 
+// Lazy backing: regions larger than the chunk size hold a sparse
+// chunk table instead of one eager allocation, and a chunk
+// materializes only when first written. A fleet of processes maps
+// megabytes of text and stack per process, but the exploit path
+// touches a few hundred bytes of stack and the text bytes are never
+// written at all — eager backing made address spaces the dominant
+// memory cost of large-fleet runs.
+const (
+	lazyChunkShift = 16 // 64 KiB chunks
+	lazyChunkSize  = 1 << lazyChunkShift
+)
+
+// zeroChunk is the read source for unmaterialized chunks.
+var zeroChunk [lazyChunkSize]byte
+
 // Region is one contiguous mapping in an address space.
 type Region struct {
 	Name string
 	Base uint64
 	Size uint64
 	Perm Perm
-	data []byte
+	data   []byte   // eager backing (regions <= one chunk)
+	chunks [][]byte // sparse backing (larger regions); nil entry = all zeros
 }
 
 // Contains reports whether addr falls inside the region.
@@ -60,9 +76,70 @@ func (as *AddressSpace) Map(name string, base, size uint64, perm Perm) *Region {
 			panic(fmt.Sprintf("procvm: mapping %q overlaps %q", name, r.Name))
 		}
 	}
-	reg := &Region{Name: name, Base: base, Size: size, Perm: perm, data: make([]byte, size)}
+	reg := &Region{Name: name, Base: base, Size: size, Perm: perm}
+	if size > lazyChunkSize {
+		reg.chunks = make([][]byte, (size+lazyChunkSize-1)>>lazyChunkShift)
+	} else {
+		reg.data = make([]byte, size)
+	}
 	as.regions = append(as.regions, reg)
 	return reg
+}
+
+// chunkLen reports the byte length of chunk ci (the last chunk of a
+// region may be short).
+func (r *Region) chunkLen(ci uint64) uint64 {
+	start := ci << lazyChunkShift
+	if rem := r.Size - start; rem < lazyChunkSize {
+		return rem
+	}
+	return lazyChunkSize
+}
+
+// writeAt copies b into the region starting at off, materializing
+// lazy chunks as it goes, and reports how many bytes fit.
+func (r *Region) writeAt(off uint64, b []byte) int {
+	if r.data != nil {
+		return copy(r.data[off:], b)
+	}
+	total := 0
+	for len(b) > 0 && off < r.Size {
+		ci := off >> lazyChunkShift
+		co := off & (lazyChunkSize - 1)
+		if r.chunks[ci] == nil {
+			r.chunks[ci] = make([]byte, r.chunkLen(ci))
+		}
+		n := copy(r.chunks[ci][co:], b)
+		total += n
+		b = b[n:]
+		off += uint64(n)
+	}
+	return total
+}
+
+// appendRead appends n bytes starting at off to dst; unmaterialized
+// chunks read as zeros.
+func (r *Region) appendRead(dst []byte, off uint64, n int) []byte {
+	if r.data != nil {
+		return append(dst, r.data[off:off+uint64(n)]...)
+	}
+	for n > 0 {
+		ci := off >> lazyChunkShift
+		co := off & (lazyChunkSize - 1)
+		avail := r.chunkLen(ci) - co
+		take := uint64(n)
+		if take > avail {
+			take = avail
+		}
+		src := zeroChunk[:lazyChunkSize]
+		if c := r.chunks[ci]; c != nil {
+			src = c
+		}
+		dst = append(dst, src[co:co+take]...)
+		n -= int(take)
+		off += take
+	}
+	return dst
 }
 
 // RegionAt returns the region containing addr, or nil.
@@ -95,7 +172,7 @@ func (as *AddressSpace) Write(addr uint64, b []byte) *Fault {
 			return &Fault{Kind: FaultPerm, Addr: addr}
 		}
 		off := addr - r.Base
-		n := copy(r.data[off:], b)
+		n := r.writeAt(off, b)
 		b = b[n:]
 		addr += uint64(n)
 	}
@@ -119,7 +196,7 @@ func (as *AddressSpace) Read(addr uint64, n int) ([]byte, *Fault) {
 		if take > avail {
 			take = avail
 		}
-		out = append(out, r.data[off:off+uint64(take)]...)
+		out = r.appendRead(out, off, take)
 		n -= take
 		addr += uint64(take)
 	}

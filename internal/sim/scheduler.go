@@ -24,6 +24,15 @@ type slot struct {
 	src  string
 	gen  uint32
 	live bool
+
+	// Sharded-mode extensions. lp attributes the event to a logical
+	// process (nil in the legacy single-threaded kernel); h/a/b hold a
+	// mailbox message's handler triple when fn is nil, so barrier
+	// insertion of cross-shard packets allocates no closures.
+	lp *LP
+	h  MsgHandler
+	a  any
+	b  any
 }
 
 func packRef(idx uint32, gen uint32) uint64 { return uint64(idx)<<32 | uint64(gen) }
@@ -62,6 +71,17 @@ type Scheduler struct {
 	stopped   bool
 	processed uint64
 	hook      func(at Time, src string, pending int)
+
+	// curLP is the logical process currently executing (sharded mode
+	// only; always nil in the legacy kernel). Events inherit it at
+	// schedule time, RNG() resolves through it, and the observability
+	// layer reads it to stamp emissions.
+	curLP *LP
+
+	// worker marks a scheduler owned by a worker shard of a ShardSet.
+	// Barrier refuses to run on one: barrier operations belong to the
+	// control plane (or the legacy single-threaded kernel).
+	worker bool
 }
 
 // NewScheduler returns a scheduler on the default heap backend whose
@@ -95,10 +115,39 @@ func NewSchedulerWith(seed int64, q Queue) *Scheduler {
 // Now reports the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// RNG exposes the scheduler's deterministic random source. All model
-// components must draw randomness from here, never from package-level
-// rand, to keep runs reproducible.
-func (s *Scheduler) RNG() *rand.Rand { return s.rng }
+// RNG exposes the current deterministic random source. In the legacy
+// kernel this is the scheduler's single global stream; in sharded
+// mode it is the private stream of the logical process currently
+// executing, so draw sequences are independent of the shard count.
+// All model components must draw randomness from here, never from
+// package-level rand, to keep runs reproducible.
+func (s *Scheduler) RNG() *rand.Rand {
+	if s.curLP != nil {
+		return s.curLP.rng
+	}
+	return s.rng
+}
+
+// CurLP reports the logical process currently executing, or nil in
+// the legacy single-threaded kernel (and during unattributed phases).
+func (s *Scheduler) CurLP() *LP { return s.curLP }
+
+// Barrier runs fn in control-plane barrier context. On the legacy
+// kernel this is a plain call: there is one thread and one partition.
+// On the sharded kernel it is meaningful only on the control
+// scheduler, whose events execute at epoch barriers with every shard
+// worker parked — so fn may touch partition-owned state on any shard
+// directly. Barrier is the ctl-side counterpart of ShardSet.WithLP:
+// the explicit, auditable form of a control-plane→partition mutation
+// (simlint inventories each Barrier body as a "barrier" crossing
+// instead of reporting it). Calling it on a worker shard's scheduler
+// panics — worker handlers must use the message path.
+func (s *Scheduler) Barrier(fn func()) {
+	if s.worker {
+		panic("sim: Barrier on a worker-shard scheduler; cross-partition effects from shard handlers must use the message path")
+	}
+	fn()
+}
 
 // Processed reports how many events have executed so far. The resource
 // model uses this as a proxy for simulator workload (Table I).
@@ -171,10 +220,52 @@ func (s *Scheduler) ScheduleAtSrc(at Time, src string, fn func()) EventID {
 	}
 	sl := &s.slots[idx]
 	sl.fn, sl.src, sl.live = fn, src, true
+	sl.lp = s.curLP // events run as the LP that scheduled them
 	s.pending++
 	ref := packRef(idx, sl.gen)
 	s.q.Push(Item{At: at, Seq: s.seq, Ref: ref})
 	return EventID(ref)
+}
+
+// scheduleMsg queues a mailbox message's handler triple at absolute
+// time at, attributed to (and executing as) LP dst. It is the
+// barrier-insertion path of the sharded runtime: storing the handler
+// and its two operands directly in the slot avoids a closure
+// allocation per cross-shard packet.
+func (s *Scheduler) scheduleMsg(at Time, dst *LP, h MsgHandler, a, b any) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	var idx uint32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{gen: 1})
+		idx = uint32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.fn, sl.src, sl.live = nil, "sim.msg", true
+	sl.lp, sl.h, sl.a, sl.b = dst, h, a, b
+	s.pending++
+	s.q.Push(Item{At: at, Seq: s.seq, Ref: packRef(idx, sl.gen)})
+}
+
+// NextEventTime reports the timestamp of the earliest live pending
+// event, sweeping any cancelled entries off the top. The shard
+// coordinator uses it between epochs to skip empty stretches of the
+// epoch grid.
+func (s *Scheduler) NextEventTime() (Time, bool) {
+	for s.q.Len() > 0 {
+		it, _ := s.q.Peek()
+		if s.refLive(it.Ref) {
+			return it.At, true
+		}
+		s.q.Pop()
+		s.stale--
+	}
+	return 0, false
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already ran
@@ -206,6 +297,7 @@ func (s *Scheduler) Cancel(id EventID) bool {
 // entries), and the slot returns to the free list.
 func (s *Scheduler) releaseSlot(idx uint32, sl *slot) {
 	sl.fn, sl.src, sl.live = nil, "", false
+	sl.lp, sl.h, sl.a, sl.b = nil, nil, nil, nil
 	sl.gen++
 	if sl.gen == 0 {
 		sl.gen = 1
@@ -268,6 +360,7 @@ func (s *Scheduler) RunAll() error {
 
 func (s *Scheduler) run(until Time) error {
 	s.stopped = false
+	defer func() { s.curLP = nil }() // no attribution leaks out of the loop
 	for s.q.Len() > 0 {
 		if s.stopped {
 			return ErrStopped
@@ -287,6 +380,7 @@ func (s *Scheduler) run(until Time) error {
 		}
 		s.q.Pop()
 		fn, src := sl.fn, sl.src
+		lp, h, a, b := sl.lp, sl.h, sl.a, sl.b
 		s.releaseSlot(idx, sl)
 		s.pending--
 		s.now = it.At
@@ -294,7 +388,12 @@ func (s *Scheduler) run(until Time) error {
 		if s.hook != nil {
 			s.hook(it.At, src, s.pending)
 		}
-		fn()
+		s.curLP = lp
+		if fn != nil {
+			fn()
+		} else {
+			h.HandleMsg(it.At, a, b)
+		}
 	}
 	return nil
 }
