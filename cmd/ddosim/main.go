@@ -13,6 +13,8 @@
 //	ddosim -devs 30 -flows-out run.flows.csv -ts-out run.ts.csv   # labeled flow dataset + windowed metrics
 //	ddosim -devs 30 -faults intensity=0.5   # canonical fault scenario, half strength
 //	ddosim -devs 30 -faults 'flap:period=60s,down=5s;crash:period=120s' -cnc-replay
+//	ddosim -devs 30 -botnet p2p              # decentralized family: Kademlia overlay, signed records
+//	ddosim -devs 30 -botnet p2p -faults 'cnc:takedown=30s'   # permanent takedown mid-attack
 package main
 
 import (
@@ -63,6 +65,8 @@ func run() error {
 		shards    = flag.Int("shards", 0, "logical-process shards for the parallel kernel (0 = classic single-queue kernel; results are byte-identical across shard counts >= 1)")
 		faultSpec = flag.String("faults", "", "fault-injection spec: \"intensity=0.5\" or \"kind:key=val,...;...\" (kinds: flap|loss|degrade|crash|cnc|sink)")
 		cncReplay = flag.Bool("cnc-replay", false, "C&C replays the attack order (trimmed) to bots that register during the attack window")
+		botnet    = flag.String("botnet", "mirai", "botnet family: mirai (centralized C&C) | p2p (Kademlia overlay, signed command records)")
+		cmdWave   = flag.Float64("command-wave", 0, "mirai only: re-send the attack order every this many seconds until the window ends (0 = single shot)")
 	)
 	flag.Parse()
 
@@ -111,6 +115,18 @@ func run() error {
 	}
 	cfg.Faults = fc
 	cfg.CNCReplayAttack = *cncReplay
+	switch *botnet {
+	case "mirai", "":
+		cfg.Botnet = ddosim.BotnetMirai
+	case "p2p":
+		cfg.Botnet = ddosim.BotnetP2P
+	default:
+		return fmt.Errorf("unknown botnet family %q (mirai|p2p)", *botnet)
+	}
+	if *cmdWave < 0 {
+		return fmt.Errorf("command-wave must be >= 0, got %v", *cmdWave)
+	}
+	cfg.CommandWave = ddosim.Time(*cmdWave * float64(ddosim.Second))
 	if *window <= 0 {
 		return fmt.Errorf("window size must be positive, got %v", *window)
 	}

@@ -36,7 +36,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|table1|fig4|recruit|resilience|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|table1|fig4|recruit|resilience|p2p|all")
 		seeds    = flag.Int("seeds", 3, "number of seeds to average over")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		csvDir   = flag.String("csv", "", "directory to write CSV files into (optional)")
@@ -130,8 +130,19 @@ func run() error {
 			return err
 		}
 	}
+	if want("p2p") {
+		ran = true
+		rows, err := experiments.P2P(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderP2P(rows))
+		if err := writeCSV(*csvDir, "p2p.csv", p2pCSV(rows)); err != nil {
+			return err
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (fig2|fig3|table1|fig4|recruit|resilience|all)", *exp)
+		return fmt.Errorf("unknown experiment %q (fig2|fig3|table1|fig4|recruit|resilience|p2p|all)", *exp)
 	}
 	return nil
 }
@@ -194,6 +205,17 @@ func resilienceCSV(rows []experiments.ResilienceRow) string {
 		fmt.Fprintf(&b, "%.2f,%.2f,%.4f,%.1f,%.1f,%.1f\n",
 			r.Intensity, r.DReceivedKbps, r.InfectionRate, r.MeanRecruitSecs,
 			r.FaultEvents, r.LoaderRedials)
+	}
+	return b.String()
+}
+
+func p2pCSV(rows []experiments.P2PRow) string {
+	var b strings.Builder
+	b.WriteString("family,intensity,infection_rate,dissem_latency_s,d_received_kbps,pre_takedown_kbps,post_takedown_kbps,sustain_ratio\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.2f,%.4f,%.2f,%.2f,%.2f,%.2f,%.4f\n",
+			r.Family, r.Intensity, r.InfectionRate, r.DissemLatencySecs,
+			r.DReceivedKbps, r.PreTakedownKbps, r.PostTakedownKbps, r.SustainRatio)
 	}
 	return b.String()
 }

@@ -117,6 +117,13 @@ const (
 	VectorCredentials = core.VectorCredentials
 )
 
+// Botnet families for Config.Botnet: the centralized Mirai C&C
+// (default) and the Kademlia-overlay P2P family.
+const (
+	BotnetMirai = core.BotnetMirai
+	BotnetP2P   = core.BotnetP2P
+)
+
 // Timeline event kinds recorded during a run.
 const (
 	EventExploitHit   = core.EventExploitHit

@@ -14,11 +14,13 @@ import (
 	"ddosim/internal/binaries/image"
 	"ddosim/internal/container"
 	"ddosim/internal/dhcpv6"
+	"ddosim/internal/dht"
 	"ddosim/internal/dnsmsg"
 	"ddosim/internal/exploit"
 	"ddosim/internal/mirai"
 	"ddosim/internal/netsim"
 	"ddosim/internal/obs"
+	"ddosim/internal/p2pbot"
 	"ddosim/internal/shttp"
 	"ddosim/internal/sim"
 )
@@ -45,6 +47,15 @@ type Config struct {
 	Bot mirai.BotConfig
 	// CNC configures the command-and-control server.
 	CNC mirai.CNCConfig
+	// P2P switches the distributed binaries to the decentralized
+	// family: the image ships a seeder daemon instead of the C&C, and
+	// exploited Devs exec a Kademlia bot. Bot/CNC above are ignored.
+	P2P bool
+	// P2PBot is the configuration baked into the distributed P2P bot
+	// binaries (Bootstrap is filled in by Deploy).
+	P2PBot p2pbot.BotConfig
+	// Seeder configures the botmaster's overlay seed process.
+	Seeder p2pbot.SeederConfig
 	// Obs, when set, records exploit deliveries (DNS responses,
 	// DHCPv6 multicasts) as trace events and metrics, and is passed
 	// through to the C&C.
@@ -59,9 +70,15 @@ type Attacker struct {
 	FileServer *shttp.Server
 	DNS        *MaliciousDNS
 	DHCP       *DHCPv6Exploit
+	// Seeder is the overlay seed process (P2P family only, nil
+	// otherwise; rebound when fault injection re-execs the daemon).
+	Seeder *p2pbot.Seeder
 	// BotTemplate is the final bot configuration baked into the
 	// distributed binaries (CNC and scanner endpoints filled in).
 	BotTemplate mirai.BotConfig
+	// P2PBotTemplate is its P2P-family counterpart (bootstrap endpoint
+	// filled in).
+	P2PBotTemplate p2pbot.BotConfig
 
 	scriptURL string
 }
@@ -72,6 +89,15 @@ func (a *Attacker) ScriptURL() string { return a.scriptURL }
 // CNCAddr reports the C&C endpoint bots connect to.
 func (a *Attacker) CNCAddr() netip.AddrPort {
 	return netip.AddrPortFrom(a.Container.Node().Addr4(), mirai.CNCPort)
+}
+
+// SeedAddr reports the overlay bootstrap endpoint (P2P family).
+func (a *Attacker) SeedAddr() netip.AddrPort {
+	port := a.P2PBotTemplate.DHT.Port
+	if port == 0 {
+		port = dht.DefaultPort
+	}
+	return netip.AddrPortFrom(a.Container.Node().Addr4(), port)
 }
 
 // Deploy builds the attacker image, creates and starts its container,
@@ -111,6 +137,15 @@ func Deploy(engine *container.Engine, cfg Config) (*Attacker, error) {
 		},
 		ExtraBytes: 64 << 20, // Mirai toolchain, Apache, python scripts
 	}
+	if cfg.P2P {
+		// The P2P botmaster ships a seeder instead of a C&C. Classic
+		// images are untouched so their ContainerBytes (Table I input)
+		// stay byte-identical.
+		delete(img.Files, "/usr/bin/cnc")
+		delete(img.ExecPaths, "/usr/bin/cnc")
+		img.Files["/usr/bin/p2p-seed"] = container.BinaryContent("p2p-seed", "x86_64")
+		img.ExecPaths["/usr/bin/p2p-seed"] = true
+	}
 	engine.RegisterImage(img)
 
 	a := &Attacker{}
@@ -119,6 +154,14 @@ func Deploy(engine *container.Engine, cfg Config) (*Attacker, error) {
 		a.CNC = mirai.NewCNC(cfg.CNC)
 		return a.CNC
 	})
+	if cfg.P2P {
+		// Like the C&C factory above, a fault-injection re-exec rebinds
+		// a.Seeder to the fresh instance.
+		engine.RegisterBinary("p2p-seed", func(args []string) container.Behavior {
+			a.Seeder = p2pbot.NewSeeder(cfg.Seeder)
+			return a.Seeder
+		})
+	}
 	engine.RegisterBinary("apache2", func(args []string) container.Behavior {
 		return &fileServerBehavior{attacker: a, path: cfg.ShellScriptPath}
 	})
@@ -145,20 +188,33 @@ func Deploy(engine *container.Engine, cfg Config) (*Attacker, error) {
 	}
 	a.scriptURL = "http://" + c.Node().Addr4().String() + cfg.ShellScriptPath
 
-	// Bake the C&C endpoint into the distributed bot binaries; when
-	// the scanner module is on, point it at our loader and keep it
-	// away from our own infrastructure.
-	botCfg := cfg.Bot
-	botCfg.CNC = a.CNCAddr()
-	if botCfg.Scan.Enabled {
-		botCfg.Scan.ReportTo = netip.AddrPortFrom(c.Node().Addr4(), mirai.ScanListenPort)
-		botCfg.Scan.Skip = append(botCfg.Scan.Skip, c.Node().Addr4())
+	if cfg.P2P {
+		// Bake the overlay entry point into the distributed P2P bot
+		// binaries; the same downloaded-binary path delivers them.
+		p2pCfg := cfg.P2PBot
+		a.P2PBotTemplate = p2pCfg
+		p2pCfg.Bootstrap = append(p2pCfg.Bootstrap, a.SeedAddr())
+		a.P2PBotTemplate = p2pCfg
+		engine.RegisterBinary(image.BinMirai, p2pbot.BotFactory(p2pCfg))
+	} else {
+		// Bake the C&C endpoint into the distributed bot binaries; when
+		// the scanner module is on, point it at our loader and keep it
+		// away from our own infrastructure.
+		botCfg := cfg.Bot
+		botCfg.CNC = a.CNCAddr()
+		if botCfg.Scan.Enabled {
+			botCfg.Scan.ReportTo = netip.AddrPortFrom(c.Node().Addr4(), mirai.ScanListenPort)
+			botCfg.Scan.Skip = append(botCfg.Scan.Skip, c.Node().Addr4())
+		}
+		a.BotTemplate = botCfg
+		engine.RegisterBinary(image.BinMirai, mirai.BotFactory(botCfg))
 	}
-	a.BotTemplate = botCfg
-	engine.RegisterBinary(image.BinMirai, mirai.BotFactory(botCfg))
 
 	// Launch sub-components.
 	bins := []string{"/usr/bin/cnc", "/usr/sbin/apache2"}
+	if cfg.P2P {
+		bins[0] = "/usr/bin/p2p-seed"
+	}
 	if !cfg.DisableExploitScripts {
 		bins = append(bins, "/opt/evil-dns", "/opt/dhcp6-exploit")
 	}

@@ -128,6 +128,20 @@ func (p *Process) NewTicker(period sim.Time, fn func()) *sim.Ticker {
 	return t
 }
 
+// ActiveTickers counts the process's tickers that are currently armed.
+// Tests use it to pin down timer-leak bugs (a behaviour that re-creates
+// a ticker per session without stopping the old one accumulates them
+// here).
+func (p *Process) ActiveTickers() int {
+	n := 0
+	for _, t := range p.tickers {
+		if t.Running() {
+			n++
+		}
+	}
+	return n
+}
+
 // HasTCPPort reports whether the process ever bound the given TCP
 // port.
 func (p *Process) HasTCPPort(port uint16) bool { return p.tcpPorts[port] }

@@ -26,6 +26,17 @@ const (
 	BinaryTelnetd DevBinary = "telnetd"
 )
 
+// Botnet family names for Config.Botnet.
+const (
+	// BotnetMirai is the centralized family: bots hold a TCP line to
+	// the C&C and obey live commands (the paper's architecture).
+	BotnetMirai = "mirai"
+	// BotnetP2P is the decentralized family: bots join a Kademlia
+	// overlay and act on signed command records replicated across the
+	// peers themselves — no C&C connection to sever.
+	BotnetP2P = "p2p"
+)
+
 // RecruitVector selects the botnet recruitment mechanism.
 type RecruitVector uint8
 
@@ -142,6 +153,23 @@ type Config struct {
 	// attacker's sequential seed scanner plants before stopping.
 	SeedCount int
 
+	// Botnet selects the C&C architecture: BotnetMirai (default when
+	// empty — the centralized family every earlier release ran, so the
+	// artifact goldens are untouched) or BotnetP2P (Kademlia overlay
+	// with signed command records).
+	Botnet string
+	// CommandWave (mirai only), when positive, makes the C&C re-send
+	// the attack order every wave until the commanded window ends, each
+	// wave trimmed to the remaining duration. Bots that lost their line
+	// mid-attack and reconnected pick the flood back up — the
+	// centralized family's best answer to C&C outages, and still not
+	// enough against a permanent takedown. Zero (default) keeps the
+	// single-shot command of the published Mirai.
+	CommandWave sim.Time
+	// P2PPollPeriod (p2p only) is the bots' command-poll interval.
+	// Zero selects the p2pbot default (30 s).
+	P2PPollPeriod sim.Time
+
 	// Faults declares the fault-injection scenario (link flaps, loss
 	// bursts, degradation windows, process crashes, C&C and sink
 	// outages). The zero value injects nothing and leaves every
@@ -249,6 +277,14 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: negative telemetry interval")
 	case c.Shards < 0:
 		return fmt.Errorf("core: Shards must be non-negative, got %d", c.Shards)
+	case c.Botnet != "" && c.Botnet != BotnetMirai && c.Botnet != BotnetP2P:
+		return fmt.Errorf("core: unknown botnet family %q (mirai|p2p)", c.Botnet)
+	case c.CommandWave < 0 || c.P2PPollPeriod < 0:
+		return fmt.Errorf("core: negative botnet period")
+	case c.Botnet == BotnetP2P && c.Vector == VectorCredentials:
+		return fmt.Errorf("core: p2p botnet supports only the memory-error vector (no scanner module)")
+	case c.Botnet == BotnetP2P && c.CommandWave > 0:
+		return fmt.Errorf("core: CommandWave is a mirai knob; p2p republishes records instead")
 	}
 	if c.Shards > 0 {
 		// The shard kernel uses LinkDelay as the conservative lookahead;
@@ -276,6 +312,9 @@ func (c *Config) Validate() error {
 	}
 	return nil
 }
+
+// p2p reports whether the run uses the decentralized family.
+func (c *Config) p2p() bool { return c.Botnet == BotnetP2P }
 
 // binaryFor deterministically assigns a Dev index its daemon.
 func (c *Config) binaryFor(i int) DevBinary {

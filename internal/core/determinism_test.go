@@ -75,6 +75,15 @@ func runOnceShards(t *testing.T, seed int64, queue sim.QueueKind, shards int, fc
 	cfg.AttackDuration = 30
 	cfg.RecruitTimeout = 90 * sim.Second
 	cfg.Faults = fc
+	a, _, _ := runCfg(t, cfg)
+	return a
+}
+
+// runCfg executes an arbitrary configuration with a deterministic
+// profiler clock and serializes every artifact. Shared by the classic
+// determinism scenarios above and the P2P-family ones in p2p_test.go.
+func runCfg(t *testing.T, cfg core.Config) (artifacts, *core.Simulation, *core.Results) {
+	t.Helper()
 	s, err := core.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +115,7 @@ func runOnceShards(t *testing.T, seed int64, queue sim.QueueKind, shards int, fc
 		}
 		*w.dst = buf.Bytes()
 	}
-	return out
+	return out, s, r
 }
 
 // TestSameSeedByteIdenticalArtifacts is the executable form of the
@@ -191,18 +200,18 @@ func TestShardCountInvariantUnderFaults(t *testing.T) {
 // TestFaultFreeArtifactsMatchPrePRGolden pins the zero-cost guarantee
 // of the fault-injection subsystem: with a zero Faults config, every
 // artifact of the runOnce scenario is byte-identical across commits.
-// The hashes were last re-captured when the telemetry pipeline landed
-// (it added spans, report fields, and the flow/time-series artifacts).
-// If an intentional change elsewhere moves these bytes, re-capture the
-// hashes — but a diff caused by a faults-related change means the
-// zero-value path is no longer free.
+// The hashes were last re-captured when the reconnect path gained
+// per-bot deterministic jitter and capped backoff (every reconnect
+// timestamp moved). If an intentional change elsewhere moves these
+// bytes, re-capture the hashes — but a diff caused by a faults-related
+// change means the zero-value path is no longer free.
 func TestFaultFreeArtifactsMatchPrePRGolden(t *testing.T) {
 	const (
-		goldenReport = "9a9139495cb876de1b5e62ae1ac54d4f184db10a9f42df0d86a324a745163e9d"
-		goldenJSONL  = "c24846b7417beaff6187f7d773a947794787549bf7f9d276cb43fcc0998bbbaf"
-		goldenChrome = "bff4369df41a7fe5dad76004f85ec0b2507cf3b399e102ed9b0bcf30646c5609"
-		goldenFlows  = "80f8bdda238bcba2b2aeeedd8f97ba15160181d5f87f586b6b6150942b05c801"
-		goldenTS     = "b9210f3ddc3d9f96f5c82113f16a54225d3a110c67500e9b33910abd6423e45e"
+		goldenReport = "bfd35824d86665d66a2145b6052faef9c8833758048903ecea465807b2415a88"
+		goldenJSONL  = "63dfc99c88bce61e51a4a581ced89300e09bf0d2375d66542737a950586ee8fa"
+		goldenChrome = "9c795ed86b9d15cf7b320a8ec225b19648f5e7c0005981f8eb4f9e2c8e009f8a"
+		goldenFlows  = "13cffc1ccdc455f2ec8b12ca56fd588684f5153b82e273c457192c0c3dc55097"
+		goldenTS     = "1c32e115904f53dafff0228742b7945e99f4f41ef1b06541762a29653fb9161f"
 	)
 	hash := func(b []byte) string {
 		sum := sha256.Sum256(b)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -12,12 +13,14 @@ import (
 	"ddosim/internal/binaries/telnetd"
 	"ddosim/internal/churn"
 	"ddosim/internal/container"
+	"ddosim/internal/dht"
 	"ddosim/internal/exploit"
 	"ddosim/internal/faults"
 	"ddosim/internal/metrics"
 	"ddosim/internal/mirai"
 	"ddosim/internal/netsim"
 	"ddosim/internal/obs"
+	"ddosim/internal/p2pbot"
 	"ddosim/internal/procvm"
 	"ddosim/internal/resources"
 	"ddosim/internal/sim"
@@ -312,6 +315,13 @@ func (s *Simulation) setupTelemetry() {
 	s.net.AddFlowLabelRule(netsim.FlowLabelRule{
 		Endpoint: netip.AddrPortFrom(atk.Addr4(), mirai.ScanListenPort), Label: "recruit"})
 	s.net.AddFlowLabelRule(netsim.FlowLabelRule{Port: 23, Label: "recruit"})
+	if s.cfg.p2p() {
+		// Overlay control traffic — lookups, stores, refreshes on the
+		// DHT port, between any pair of peers. Must precede the
+		// attacker-address exploit rules or the seeder's DHT datagrams
+		// would be mislabeled exploit-delivery.
+		s.net.AddFlowLabelRule(netsim.FlowLabelRule{Port: dht.DefaultPort, Label: "dht"})
+	}
 	// Remaining attacker traffic (DNS poisoning, DHCPv6 payloads, bot
 	// binary fetches) is the exploit-delivery plane.
 	s.net.AddFlowLabelRule(netsim.FlowLabelRule{Addr: atk.Addr4(), Label: "exploit"})
@@ -398,7 +408,7 @@ func (s *Simulation) setupFaults() error {
 		})
 	}
 	atkC := s.attacker.Container
-	inj.SetCNC("attacker", atkC.Node().DefaultDevice(), faults.ProcTarget{
+	cncTarget := faults.ProcTarget{
 		Name: "attacker",
 		Crash: func(*rand.Rand) (string, bool) {
 			p := atkC.FindByTCPPort(mirai.CNCPort)
@@ -418,7 +428,41 @@ func (s *Simulation) setupFaults() error {
 			s.withLP(s.atkLP(), func() { _, err = atkC.ExecFile("/usr/bin/cnc", nil) })
 			return err == nil
 		},
-	})
+	}
+	if s.cfg.p2p() {
+		// The P2P family's "C&C" is the seeder daemon (UDP, so found by
+		// process title, not TCP port). Crash/restart re-exec the seed
+		// binary; the takedown scenario kills it for good — which is
+		// exactly the fault whose blast radius the family shrinks.
+		findSeed := func() *container.Process {
+			for _, p := range atkC.Procs() {
+				if p.Title() == "p2p-seed" {
+					return p
+				}
+			}
+			return nil
+		}
+		cncTarget = faults.ProcTarget{
+			Name: "attacker",
+			Crash: func(*rand.Rand) (string, bool) {
+				p := findSeed()
+				if p == nil {
+					return "", false
+				}
+				s.withLP(s.atkLP(), func() { atkC.Kill(p.PID()) })
+				return "p2p-seed", true
+			},
+			Restart: func(string) bool {
+				if findSeed() != nil {
+					return false
+				}
+				var err error
+				s.withLP(s.atkLP(), func() { _, err = atkC.ExecFile("/usr/bin/p2p-seed", nil) })
+				return err == nil
+			},
+		}
+	}
+	inj.SetCNC("attacker", atkC.Node().DefaultDevice(), cncTarget)
 	inj.SetSink(func(down bool) {
 		if down {
 			s.sink.Suspend()
@@ -455,8 +499,13 @@ func (s *Simulation) Engine() *container.Engine { return s.engine }
 // Attacker exposes the deployed attacker component.
 func (s *Simulation) Attacker() *attacker.Attacker { return s.attacker }
 
-// CNC exposes the Mirai command-and-control server.
+// CNC exposes the Mirai command-and-control server (nil for the P2P
+// family, which has none — that is the point).
 func (s *Simulation) CNC() *mirai.CNC { return s.attacker.CNC }
+
+// Seeder exposes the P2P family's overlay seed process (nil for the
+// mirai family).
+func (s *Simulation) Seeder() *p2pbot.Seeder { return s.attacker.Seeder }
 
 // TServer exposes the target node.
 func (s *Simulation) TServer() *netsim.Node { return s.tserver }
@@ -503,19 +552,7 @@ func (s *Simulation) deployAttacker() error {
 			// kernel it travels to the control plane as a timestamped
 			// message and executes at the next barrier with the
 			// originating instant preserved.
-			OnAttackStart: func(addr netip.Addr) {
-				if s.set == nil {
-					s.noteFloodStart(addr)
-					return
-				}
-				dev, ok := s.devByAddr[addr]
-				if !ok {
-					return
-				}
-				lp := dev.container.Node().LP()
-				lp.SendFunc(s.set.CtlLP(), lp.Shard().Sched().Now(),
-					func(sim.Time) { s.noteFloodStart(addr) })
-			},
+			OnAttackStart: s.attackStartHook(),
 		},
 		CNC: mirai.CNCConfig{
 			ReplayAttackCommand: s.cfg.CNCReplayAttack,
@@ -535,6 +572,37 @@ func (s *Simulation) deployAttacker() error {
 				s.timeline.Record(s.hubNow(), EventBotLost, s.devName(addr))
 			},
 		},
+	}
+	if s.cfg.p2p() {
+		// The decentralized family: same exploit chain, same downloaded
+		// binary path, but the binary joins a Kademlia overlay instead
+		// of dialing home. The botmaster's keypair derives from the run
+		// seed so same-seed runs sign byte-identical records.
+		kseed := sha256.Sum256([]byte(fmt.Sprintf("ddosim/p2p-key/%d", s.cfg.Seed)))
+		pub, priv := p2pbot.DeriveKey(kseed)
+		atkCfg.P2P = true
+		atkCfg.Seeder = p2pbot.SeederConfig{
+			Key: priv,
+			// The seeder's census is the family's recruitment signal:
+			// first contact from a peer is the moment it joined the
+			// overlay, the counterpart of a C&C registration. The hook
+			// executes on the attacker hub's shard, like the CNC hooks
+			// above.
+			OnContact: func(addr netip.Addr) {
+				if !s.registeredEver[addr] {
+					s.registeredEver[addr] = true
+					s.results.BotsRegistered++
+				}
+				s.timeline.Record(s.hubNow(), EventBotJoined, s.devName(addr))
+			},
+		}
+		atkCfg.P2PBot = p2pbot.BotConfig{
+			PubKey:        pub,
+			PollPeriod:    s.cfg.P2PPollPeriod,
+			PayloadBytes:  s.cfg.PayloadBytes,
+			StartJitter:   jitter,
+			OnAttackStart: s.attackStartHook(),
+		}
 	}
 	if s.cfg.Vector == VectorCredentials {
 		// Credential recruitment: no exploit scripts; instead the
@@ -608,6 +676,40 @@ func (s *Simulation) deployAttacker() error {
 		})
 	}
 	return nil
+}
+
+// attackStartHook builds the per-bot flood-start callback both bot
+// families share: inline on the classic path, a timestamped message to
+// the control plane under the sharded kernel (the bookkeeping mutates
+// run-wide state).
+func (s *Simulation) attackStartHook() func(addr netip.Addr) {
+	return func(addr netip.Addr) {
+		if s.set == nil {
+			s.noteFloodStart(addr)
+			return
+		}
+		dev, ok := s.devByAddr[addr]
+		if !ok {
+			return
+		}
+		lp := dev.container.Node().LP()
+		lp.SendFunc(s.set.CtlLP(), lp.Shard().Sched().Now(),
+			func(sim.Time) { s.noteFloodStart(addr) })
+	}
+}
+
+// botCount reads the active family's recruitment census: live C&C
+// registrations for mirai, distinct overlay peers ever heard for p2p.
+// Reads happen on the control plane (at epoch barriers under the
+// sharded kernel), the same discipline as every other hub-state read.
+func (s *Simulation) botCount() int {
+	if s.attacker.Seeder != nil {
+		return s.attacker.Seeder.Contacts
+	}
+	if s.attacker.CNC != nil {
+		return s.attacker.CNC.BotCount()
+	}
+	return 0
 }
 
 // noteFloodStart is the flood-start bookkeeping: on the classic path
@@ -935,7 +1037,7 @@ func (s *Simulation) Run() (*Results, error) {
 			return
 		}
 		online := s.onlineDevs()
-		full := online > 0 && s.attacker.CNC.BotCount() >= online
+		full := online > 0 && s.botCount() >= online
 		if full || s.sched.Now() >= s.cfg.RecruitTimeout {
 			s.issueAttack()
 		}
@@ -996,19 +1098,49 @@ func (s *Simulation) issueAttack() {
 	s.net.AddFlowLabelRule(netsim.FlowLabelRule{
 		Endpoint: netip.AddrPortFrom(target, s.cfg.AttackPort), Label: "attack"})
 	// issueAttack runs on the control plane; under the sharded kernel
-	// the C&C's command packets must be attributed to the attacker
-	// hub's logical process.
+	// the command traffic must be attributed to the attacker hub's
+	// logical process.
 	var n int
-	s.withLP(s.atkLP(), func() {
-		n = s.attacker.CNC.LaunchAttack(mirai.AttackCommand{
-			Method:   method,
-			Target:   target,
-			Port:     s.cfg.AttackPort,
-			Duration: s.cfg.AttackDuration,
+	if s.attacker.Seeder != nil {
+		// P2P: sign one record with the campaign's absolute end and
+		// replicate it; polls, pushes, and the republish pump carry it
+		// to the fleet. BotsAtCommand is the census at the instant the
+		// record goes out — unlike mirai there is no per-bot delivery
+		// count to report.
+		end := now + sim.Time(s.cfg.AttackDuration)*sim.Second
+		s.withLP(s.atkLP(), func() {
+			n = s.attacker.Seeder.Contacts
+			s.attacker.Seeder.PublishAttack(method,
+				netip.AddrPortFrom(target, s.cfg.AttackPort), end)
 		})
-	})
+	} else {
+		dur := s.cfg.AttackDuration
+		if s.cfg.CommandWave > 0 {
+			// Heartbeat mode: each order only covers the gap to the
+			// next wave (plus a second of slack), so the flood lives
+			// exactly as long as the C&C keeps re-commanding it — the
+			// centralized dependence the takedown contrast measures.
+			dur = s.waveSecs(s.cfg.AttackDuration)
+		}
+		s.withLP(s.atkLP(), func() {
+			n = s.attacker.CNC.LaunchAttack(mirai.AttackCommand{
+				Method:   method,
+				Target:   target,
+				Port:     s.cfg.AttackPort,
+				Duration: dur,
+			})
+		})
+		if s.cfg.CommandWave > 0 {
+			s.scheduleCommandWaves(method, target, now+sim.Time(s.cfg.AttackDuration)*sim.Second)
+		}
+	}
 	s.results.BotsAtCommand = n
 	s.timeline.Record(now, EventAttackOrder, fmt.Sprintf("%d bots", n))
+	if s.faults != nil {
+		// Order-relative fault scenarios (the permanent takedown) key
+		// off this instant.
+		s.faults.OnAttackOrder()
+	}
 
 	// The attack phase span ends when the commanded flood duration
 	// elapses (individual bots may trail off later due to jitter).
@@ -1026,6 +1158,42 @@ func (s *Simulation) issueAttack() {
 			s.postTaken = true
 		}
 	})
+}
+
+// waveSecs is the heartbeat order's duration: one wave plus a second
+// of slack so floods bridge the gap to the next order, capped at the
+// remaining window.
+func (s *Simulation) waveSecs(remaining int) int {
+	w := int(s.cfg.CommandWave/sim.Second) + 1
+	if w > remaining {
+		w = remaining
+	}
+	return w
+}
+
+// scheduleCommandWaves re-sends the heartbeat order every CommandWave
+// until the commanded window ends. A bot whose C&C line dropped and
+// came back mid-attack picks the flood up at the next wave; when the
+// C&C dies for good the whole flood starves within one wave.
+func (s *Simulation) scheduleCommandWaves(method string, target netip.Addr, end sim.Time) {
+	var wave func()
+	wave = func() {
+		now := s.sched.Now()
+		remaining := int((end - now) / sim.Second)
+		if remaining <= 0 {
+			return
+		}
+		s.withLP(s.atkLP(), func() {
+			s.attacker.CNC.LaunchAttack(mirai.AttackCommand{
+				Method:   method,
+				Target:   target,
+				Port:     s.cfg.AttackPort,
+				Duration: s.waveSecs(remaining),
+			})
+		})
+		s.sched.ScheduleSrc(s.cfg.CommandWave, "core.cmdwave", wave)
+	}
+	s.sched.ScheduleSrc(s.cfg.CommandWave, "core.cmdwave", wave)
 }
 
 func (s *Simulation) assemble() {

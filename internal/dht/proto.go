@@ -1,0 +1,157 @@
+package dht
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Message types. Requests carry an rpc id the response echoes;
+// FIND_VALUE is answered by tValue when the peer holds the record and
+// by tNodes (its K closest to the key) when it does not — the standard
+// Kademlia either/or.
+const (
+	tPing byte = iota + 1
+	tPong
+	tFindNode // payload: target ID
+	tNodes    // payload: contact list
+	tFindValue
+	tValue // payload: key, seq, value bytes
+	tStore // payload: key, seq, value bytes
+	tStoreOK
+)
+
+// Contact is a routing-table entry: a peer's overlay ID and its UDP
+// endpoint. The ID is always NodeID(Addr); it travels on the wire
+// anyway so table maintenance never recomputes hashes on the hot path.
+type Contact struct {
+	ID   ID
+	Addr netip.AddrPort
+}
+
+// Message is one DHT datagram, either direction.
+type Message struct {
+	Type   byte
+	RPC    uint32
+	Sender ID
+
+	Target   ID        // tFindNode, tFindValue
+	Contacts []Contact // tNodes
+	Key      ID        // tStore, tStoreOK, tValue
+	Seq      uint64    // tStore, tValue
+	Value    []byte    // tStore, tValue
+}
+
+const headerLen = 1 + 4 + IDBytes
+
+// Encode serializes the message into a fresh buffer (the netsim UDP
+// layer carries the slice by reference, so encode buffers are never
+// reused).
+func (m *Message) Encode() []byte {
+	buf := make([]byte, 0, headerLen+64)
+	buf = append(buf, m.Type)
+	buf = binary.BigEndian.AppendUint32(buf, m.RPC)
+	buf = append(buf, m.Sender[:]...)
+	switch m.Type {
+	case tFindNode, tFindValue:
+		buf = append(buf, m.Target[:]...)
+	case tNodes:
+		buf = append(buf, byte(len(m.Contacts)))
+		for _, c := range m.Contacts {
+			buf = append(buf, c.ID[:]...)
+			buf = appendAddrPort(buf, c.Addr)
+		}
+	case tStore, tValue:
+		buf = append(buf, m.Key[:]...)
+		buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Value)))
+		buf = append(buf, m.Value...)
+	case tStoreOK:
+		buf = append(buf, m.Key[:]...)
+	}
+	return buf
+}
+
+func appendAddrPort(buf []byte, ap netip.AddrPort) []byte {
+	if ap.Addr().Is4() {
+		a := ap.Addr().As4()
+		buf = append(buf, 4)
+		buf = append(buf, a[:]...)
+	} else {
+		a := ap.Addr().As16()
+		buf = append(buf, 16)
+		buf = append(buf, a[:]...)
+	}
+	return binary.BigEndian.AppendUint16(buf, ap.Port())
+}
+
+// Decode parses a datagram. Malformed input returns an error; the
+// node drops such datagrams silently (an overlay peer cannot be
+// trusted to speak the protocol).
+func Decode(data []byte) (*Message, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("dht: short message (%d bytes)", len(data))
+	}
+	m := &Message{Type: data[0], RPC: binary.BigEndian.Uint32(data[1:5])}
+	copy(m.Sender[:], data[5:headerLen])
+	rest := data[headerLen:]
+	switch m.Type {
+	case tPing, tPong:
+	case tFindNode, tFindValue:
+		if len(rest) < IDBytes {
+			return nil, fmt.Errorf("dht: truncated find")
+		}
+		copy(m.Target[:], rest)
+	case tNodes:
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("dht: truncated nodes")
+		}
+		n := int(rest[0])
+		rest = rest[1:]
+		m.Contacts = make([]Contact, 0, n)
+		for i := 0; i < n; i++ {
+			if len(rest) < IDBytes+1 {
+				return nil, fmt.Errorf("dht: truncated contact")
+			}
+			var c Contact
+			copy(c.ID[:], rest)
+			rest = rest[IDBytes:]
+			alen := int(rest[0])
+			rest = rest[1:]
+			if (alen != 4 && alen != 16) || len(rest) < alen+2 {
+				return nil, fmt.Errorf("dht: bad contact address")
+			}
+			addr, ok := netip.AddrFromSlice(rest[:alen])
+			if !ok {
+				return nil, fmt.Errorf("dht: bad contact address")
+			}
+			port := binary.BigEndian.Uint16(rest[alen:])
+			rest = rest[alen+2:]
+			c.Addr = netip.AddrPortFrom(addr, port)
+			m.Contacts = append(m.Contacts, c)
+		}
+	case tStore, tValue:
+		if len(rest) < IDBytes+8+2 {
+			return nil, fmt.Errorf("dht: truncated record")
+		}
+		copy(m.Key[:], rest)
+		rest = rest[IDBytes:]
+		m.Seq = binary.BigEndian.Uint64(rest)
+		vlen := int(binary.BigEndian.Uint16(rest[8:]))
+		rest = rest[10:]
+		if len(rest) < vlen {
+			return nil, fmt.Errorf("dht: truncated value")
+		}
+		// Copy out of the packet buffer: the record outlives the
+		// datagram delivery.
+		m.Value = append([]byte(nil), rest[:vlen]...)
+	case tStoreOK:
+		if len(rest) < IDBytes {
+			return nil, fmt.Errorf("dht: truncated store-ok")
+		}
+		copy(m.Key[:], rest)
+	default:
+		return nil, fmt.Errorf("dht: unknown message type %d", m.Type)
+	}
+	return m, nil
+}

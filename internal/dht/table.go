@@ -1,0 +1,126 @@
+package dht
+
+import "sort"
+
+// Table is the Kademlia routing table: IDBits k-buckets of contacts,
+// bucket i holding peers whose distance from self has its highest set
+// bit at position i. Each bucket is LRU-ordered — index 0 is the
+// least-recently-seen contact, the tail the freshest — and holds at
+// most k entries. The table itself never pings anyone: when a bucket
+// is full, Seen reports the eviction candidate and the node layer
+// decides by pinging it (Kademlia's "old contacts are good contacts"
+// policy: a responsive oldie stays, the newcomer is dropped).
+type Table struct {
+	self    ID
+	k       int
+	buckets [IDBits][]Contact
+	size    int
+}
+
+// NewTable builds the table for owner self with bucket capacity k.
+func NewTable(self ID, k int) *Table {
+	return &Table{self: self, k: k}
+}
+
+// Len reports the total number of contacts.
+func (t *Table) Len() int { return t.size }
+
+// SeenResult describes the outcome of observing a contact.
+type SeenResult int
+
+const (
+	// SeenAdded: the contact entered (or refreshed) its bucket.
+	SeenAdded SeenResult = iota
+	// SeenFull: the bucket is full; the caller should ping the
+	// eviction candidate and call Evict or ignore the newcomer.
+	SeenFull
+	// SeenSelf: the contact is the table owner; never stored.
+	SeenSelf
+)
+
+// Seen records traffic from c. If its bucket is full and c is not
+// already present, it reports SeenFull along with the
+// least-recently-seen occupant as the eviction candidate.
+func (t *Table) Seen(c Contact) (SeenResult, Contact) {
+	idx := BucketIndex(t.self, c.ID)
+	if idx < 0 {
+		return SeenSelf, Contact{}
+	}
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].ID == c.ID {
+			// Move to tail: freshest position.
+			moved := b[i]
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = moved
+			return SeenAdded, Contact{}
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[idx] = append(b, c)
+		t.size++
+		return SeenAdded, Contact{}
+	}
+	return SeenFull, b[0]
+}
+
+// Evict removes id (the losing eviction candidate) and inserts
+// replacement at the fresh end of the same bucket.
+func (t *Table) Evict(id ID, replacement Contact) {
+	idx := BucketIndex(t.self, id)
+	if idx < 0 || idx != BucketIndex(t.self, replacement.ID) {
+		return
+	}
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].ID == id {
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = replacement
+			return
+		}
+	}
+}
+
+// Remove drops a dead contact.
+func (t *Table) Remove(id ID) {
+	idx := BucketIndex(t.self, id)
+	if idx < 0 {
+		return
+	}
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].ID == id {
+			t.buckets[idx] = append(b[:i], b[i+1:]...)
+			t.size--
+			return
+		}
+	}
+}
+
+// Closest returns up to n contacts sorted by XOR distance to target
+// (ties broken by ID bytes — a total order, so the result is
+// deterministic regardless of insertion history).
+func (t *Table) Closest(target ID, n int) []Contact {
+	out := make([]Contact, 0, t.size)
+	for i := range t.buckets {
+		out = append(out, t.buckets[i]...)
+	}
+	sortByDistance(out, target)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// BucketLen reports the occupancy of bucket idx (refresh targeting).
+func (t *Table) BucketLen(idx int) int { return len(t.buckets[idx]) }
+
+func sortByDistance(cs []Contact, target ID) {
+	sort.Slice(cs, func(i, j int) bool {
+		di, dj := cs[i].ID.XOR(target), cs[j].ID.XOR(target)
+		if di != dj {
+			return di.Less(dj)
+		}
+		return string(cs[i].ID[:]) < string(cs[j].ID[:])
+	})
+}

@@ -86,6 +86,13 @@ type Config struct {
 	CNCCrashPeriod  sim.Time // 0 disables
 	CNCOutagePeriod sim.Time // 0 disables
 	CNCOutageDown   sim.Time // outage length; default 10 s
+	// CNCTakedownAfterOrder is the permanent-takedown scenario: this
+	// long after core reports the attack order went out (the injector's
+	// OnAttackOrder hook), the C&C daemon is killed and the attacker's
+	// uplink severed — with no restart and no restore for the rest of
+	// the run. The one-shot fault the takedown-resilience contrast
+	// between the centralized and P2P families is measured under.
+	CNCTakedownAfterOrder sim.Time // 0 disables
 
 	// TServer sink outage windows (measurement loss).
 	SinkOutagePeriod sim.Time // 0 disables
@@ -96,7 +103,7 @@ type Config struct {
 func (c Config) Enabled() bool {
 	return c.FlapPeriod > 0 || c.BurstLoss > 0 || c.DegradePeriod > 0 ||
 		c.CrashPeriod > 0 || c.CNCCrashPeriod > 0 || c.CNCOutagePeriod > 0 ||
-		c.SinkOutagePeriod > 0
+		c.CNCTakedownAfterOrder > 0 || c.SinkOutagePeriod > 0
 }
 
 // Validate checks the scenario for contradictions.
@@ -113,7 +120,8 @@ func (c Config) Validate() error {
 	case c.FlapPeriod < 0 || c.FlapDown < 0 || c.BurstMean < 0 || c.BurstGap < 0 ||
 		c.DegradePeriod < 0 || c.DegradeDown < 0 || c.CrashPeriod < 0 ||
 		c.RestartDelay < 0 || c.CNCCrashPeriod < 0 || c.CNCOutagePeriod < 0 ||
-		c.CNCOutageDown < 0 || c.SinkOutagePeriod < 0 || c.SinkOutageDown < 0:
+		c.CNCOutageDown < 0 || c.CNCTakedownAfterOrder < 0 ||
+		c.SinkOutagePeriod < 0 || c.SinkOutageDown < 0:
 		return fmt.Errorf("faults: negative duration in config")
 	case c.DegradePeriod > 0 && c.DegradeFactor == 0 && c.DegradeQueueFactor == 0:
 		return fmt.Errorf("faults: degradation enabled with zero factors")
@@ -159,6 +167,7 @@ const (
 	EventProcRestart = "fault-proc-restart"
 	EventCNCDown     = "fault-cnc-down"
 	EventCNCUp       = "fault-cnc-up"
+	EventCNCTakedown = "fault-cnc-takedown"
 	EventSinkDown    = "fault-sink-down"
 	EventSinkUp      = "fault-sink-up"
 )
@@ -176,13 +185,14 @@ type Stats struct {
 	ProcRestarts   uint64 `json:"proc_restarts"`
 	CNCCrashes     uint64 `json:"cnc_crashes"`
 	CNCOutages     uint64 `json:"cnc_outages"`
+	CNCTakedowns   uint64 `json:"cnc_takedowns"`
 	SinkOutages    uint64 `json:"sink_outages"`
 }
 
 // Total sums every injection.
 func (s Stats) Total() uint64 {
 	return s.LinkFlaps + s.LossBursts + s.DegradeWindows + s.ProcCrashes +
-		s.CNCCrashes + s.CNCOutages + s.SinkOutages
+		s.CNCCrashes + s.CNCOutages + s.CNCTakedowns + s.SinkOutages
 }
 
 // ProcTarget is a container whose processes the injector may crash.
@@ -225,10 +235,11 @@ type Injector struct {
 	cncProc *ProcTarget
 	sink    func(down bool)
 
-	trace   *obs.Tracer
-	ctr     map[string]*obs.Counter
-	stats   Stats
-	stopped bool
+	trace         *obs.Tracer
+	ctr           map[string]*obs.Counter
+	stats         Stats
+	stopped       bool
+	takedownArmed bool
 }
 
 // New builds an injector for the scenario. seed is the run seed; the
@@ -254,6 +265,7 @@ func New(sched *sim.Scheduler, cfg Config, seed int64, o *obs.Obs) (*Injector, e
 		inj.ctr["crash"] = reg.Counter("faults_proc_crashes_total", "processes crashed")
 		inj.ctr["restart"] = reg.Counter("faults_proc_restarts_total", "supervisor restarts performed")
 		inj.ctr["cnc"] = reg.Counter("faults_cnc_outages_total", "C&C outage windows injected")
+		inj.ctr["takedown"] = reg.Counter("faults_cnc_takedowns_total", "permanent C&C takedowns injected")
 		inj.ctr["sink"] = reg.Counter("faults_sink_outages_total", "sink outage windows injected")
 	}
 	return inj, nil
@@ -496,6 +508,36 @@ func (inj *Injector) cncOutage() {
 			inj.emit(EventCNCUp, lt.name, "")
 		}
 	})
+}
+
+// OnAttackOrder arms the order-relative scenarios; core calls it at
+// the instant the attack command goes out. With CNCTakedownAfterOrder
+// set it schedules the one-shot permanent takedown. Idempotent: a
+// re-issued command (mirai command waves) does not re-arm it.
+func (inj *Injector) OnAttackOrder() {
+	if inj.cfg.CNCTakedownAfterOrder <= 0 || inj.takedownArmed {
+		return
+	}
+	inj.takedownArmed = true
+	inj.after(inj.cfg.CNCTakedownAfterOrder, inj.takedown)
+}
+
+// takedown is the permanent C&C kill: the daemon dies, the uplink goes
+// down, and — unlike crash/outage — nothing restarts or restores them.
+// Marking the link flapped for good keeps the periodic flap and outage
+// processes from ever bringing it back.
+func (inj *Injector) takedown() {
+	if inj.cncProc != nil {
+		inj.cncProc.Crash(inj.rng)
+	}
+	if lt := inj.cncLink; lt != nil {
+		lt.flapped = true
+		if lt.dev.IsUp() {
+			inj.sched.Barrier(func() { lt.dev.SetUp(false) })
+		}
+	}
+	inj.stats.CNCTakedowns++
+	inj.emit(EventCNCTakedown, "attacker", "takedown")
 }
 
 // sinkOutage suspends the measurement sink for SinkOutageDown.

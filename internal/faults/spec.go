@@ -17,7 +17,7 @@ import (
 //	loss:rate=0.9,burst=5s,gap=30s
 //	degrade:period=120s,down=30s,factor=0.25[,qfactor=0.5]
 //	crash:period=90s,restart=10s
-//	cnc:period=150s,down=20s[,crash=300s]
+//	cnc:period=150s,down=20s[,crash=300s][,takedown=30s]
 //	sink:period=200s,down=15s
 //	intensity=0.6            (the canonical AtIntensity scenario)
 func ParseSpec(spec string) (Config, error) {
@@ -113,7 +113,7 @@ func applyClause(cfg *Config, kind string, kv map[string]string) error {
 		err = firstErr(dur("period", &cfg.CrashPeriod), dur("restart", &cfg.RestartDelay))
 	case "cnc":
 		err = firstErr(dur("period", &cfg.CNCOutagePeriod), dur("down", &cfg.CNCOutageDown),
-			dur("crash", &cfg.CNCCrashPeriod))
+			dur("crash", &cfg.CNCCrashPeriod), dur("takedown", &cfg.CNCTakedownAfterOrder))
 	case "sink":
 		err = firstErr(dur("period", &cfg.SinkOutagePeriod), dur("down", &cfg.SinkOutageDown))
 	default:
@@ -158,6 +158,9 @@ func merge(a, b Config) Config {
 	}
 	if a.CNCCrashPeriod == 0 {
 		a.CNCCrashPeriod = b.CNCCrashPeriod
+	}
+	if a.CNCTakedownAfterOrder == 0 {
+		a.CNCTakedownAfterOrder = b.CNCTakedownAfterOrder
 	}
 	if a.SinkOutagePeriod == 0 {
 		a.SinkOutagePeriod, a.SinkOutageDown = b.SinkOutagePeriod, b.SinkOutageDown

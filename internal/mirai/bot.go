@@ -17,9 +17,16 @@ type BotConfig struct {
 	// PayloadBytes is the UDP-PLAIN payload size; defaults to Mirai's
 	// 512 bytes.
 	PayloadBytes int
-	// ReconnectDelay is the pause before re-dialing a lost C&C
+	// ReconnectDelay is the base pause before re-dialing a lost C&C
 	// connection. Defaults to 10 s (Mirai retries aggressively).
+	// Consecutive failures back the delay off exponentially, capped at
+	// MaxReconnectDelay, and every attempt adds a uniformly-random
+	// jitter in [0, ReconnectDelay) drawn from the bot's own RNG
+	// stream — without it a C&C outage synchronizes the whole fleet
+	// into a lock-step reconnect herd.
 	ReconnectDelay sim.Time
+	// MaxReconnectDelay caps the backoff. Defaults to 4x ReconnectDelay.
+	MaxReconnectDelay sim.Time
 	// PingPeriod is the keepalive interval. Defaults to 60 s.
 	PingPeriod sim.Time
 	// StartJitter models host task queuing on the shared emulation
@@ -44,23 +51,17 @@ type Bot struct {
 
 	conn      *netsim.TCPConn
 	connected bool
-	attacking bool
-	flood     *floodState
+	flood     *Flooder
+	ping      *sim.Ticker
 	scanner   *Scanner
+	// dialFails counts consecutive failed (re)connect attempts; it
+	// drives the capped exponential backoff and resets on success.
+	dialFails int
 
 	// Counters for tests.
 	Reconnects   int
 	RivalsKilled int
 	CommandsSeen int
-}
-
-type floodState struct {
-	method   string
-	dst      netip.AddrPort
-	until    sim.Time
-	interval sim.Time
-	sock     *netsim.UDPSocket
-	sent     uint64
 }
 
 var _ container.Behavior = (*Bot)(nil)
@@ -72,6 +73,9 @@ func NewBot(cfg BotConfig) *Bot {
 	}
 	if cfg.ReconnectDelay <= 0 {
 		cfg.ReconnectDelay = 10 * sim.Second
+	}
+	if cfg.MaxReconnectDelay <= 0 {
+		cfg.MaxReconnectDelay = 4 * cfg.ReconnectDelay
 	}
 	if cfg.PingPeriod <= 0 {
 		cfg.PingPeriod = 60 * sim.Second
@@ -89,7 +93,7 @@ func BotFactory(cfg BotConfig) container.BehaviorFactory {
 func (b *Bot) Name() string { return "mirai" }
 
 // Attacking reports whether the flood engine is live.
-func (b *Bot) Attacking() bool { return b.attacking }
+func (b *Bot) Attacking() bool { return b.flood != nil && b.flood.Attacking() }
 
 // Connected reports whether the C&C session is established.
 func (b *Bot) Connected() bool { return b.connected }
@@ -99,12 +103,13 @@ func (b *Bot) PacketsSent() uint64 {
 	if b.flood == nil {
 		return 0
 	}
-	return b.flood.sent
+	return b.flood.Sent()
 }
 
 // Start implements container.Behavior: hide, fortify, phone home.
 func (b *Bot) Start(p *container.Process) {
 	b.p = p
+	b.flood = NewFlooder(p, b.cfg.PayloadBytes)
 
 	// Obfuscate the process name, as Mirai does with PR_SET_NAME and
 	// argv scribbling.
@@ -128,7 +133,9 @@ func (b *Bot) Scanner() *Scanner { return b.scanner }
 
 // Stop implements container.Behavior.
 func (b *Bot) Stop(*container.Process) {
-	b.attacking = false
+	if b.flood != nil {
+		b.flood.Stop()
+	}
 	b.connected = false
 }
 
@@ -169,16 +176,34 @@ func (b *Bot) dial() {
 	})
 }
 
+// reconnectDelay computes the next re-dial pause: the base delay backed
+// off exponentially per consecutive failure (capped), plus per-bot
+// jitter from the bot's deterministic RNG stream. Fixed delays would
+// herd every bot severed by the same C&C outage into simultaneous
+// re-dials — the classic reconnect-storm bug.
+func (b *Bot) reconnectDelay() sim.Time {
+	d := b.cfg.ReconnectDelay
+	for i := 0; i < b.dialFails && d < b.cfg.MaxReconnectDelay; i++ {
+		d *= 2
+	}
+	if d > b.cfg.MaxReconnectDelay {
+		d = b.cfg.MaxReconnectDelay
+	}
+	return d + sim.Time(b.p.RNG().Int63n(int64(b.cfg.ReconnectDelay)))
+}
+
 func (b *Bot) scheduleReconnect() {
 	if !b.p.Alive() {
 		return
 	}
 	b.Reconnects++
-	b.p.Sched().Schedule(b.cfg.ReconnectDelay, b.dial)
+	b.dialFails++
+	b.p.Sched().Schedule(b.reconnectDelay(), b.dial)
 }
 
 func (b *Bot) onConnected(c *netsim.TCPConn) {
 	b.connected = true
+	b.dialFails = 0
 	var lb lineBuffer
 	c.SetDataHandler(func(data []byte) {
 		for _, line := range lb.feed(data) {
@@ -187,17 +212,24 @@ func (b *Bot) onConnected(c *netsim.TCPConn) {
 	})
 	c.SetCloseHandler(func(error) {
 		b.connected = false
+		// The keepalive belongs to this session: without the stop, every
+		// reconnect would stack one more live ticker firing forever.
+		if b.ping != nil {
+			b.ping.Stop()
+		}
 		b.scheduleReconnect()
 	})
 	_ = c.Send(botMagic)
 	_ = c.Send([]byte("arch " + b.p.Container().Arch() + "\n"))
 
-	ping := b.p.NewTicker(b.cfg.PingPeriod, func() {
-		if b.connected {
-			_ = c.Send([]byte("ping\n"))
-		}
-	})
-	ping.Start()
+	if b.ping == nil {
+		b.ping = b.p.NewTicker(b.cfg.PingPeriod, func() {
+			if b.connected {
+				_ = b.conn.Send([]byte("ping\n"))
+			}
+		})
+	}
+	b.ping.Start()
 }
 
 func (b *Bot) onLine(line string) {
@@ -212,91 +244,21 @@ func (b *Bot) onLine(line string) {
 	b.startAttack(cmd)
 }
 
-// startAttack runs the ordered flood, paced at the device's own line
-// rate so the Dev's uplink is saturated for the commanded duration
-// (Mirai floods as fast as the interface allows). UDP-PLAIN carries
-// PayloadBytes of padding; SYN and ACK floods are header-only crafted
-// segments with randomized source ports and sequence numbers.
+// startAttack runs the ordered flood through the shared engine, paced
+// at the device's own line rate so the Dev's uplink is saturated for
+// the commanded duration (Mirai floods as fast as the interface
+// allows).
 func (b *Bot) startAttack(cmd AttackCommand) {
 	dst := netip.AddrPortFrom(cmd.Target, cmd.Port)
-	rate := b.p.Node().DefaultDevice().Rate()
-
-	f := &floodState{method: cmd.Method, dst: dst}
-	var wireSize int
-	switch cmd.Method {
-	case MethodUDPPlain:
-		sock, err := b.p.BindUDP(0, nil)
-		if err != nil {
-			b.p.Logf("mirai: flood socket: %v", err)
-			return
-		}
-		f.sock = sock
-		wireSize = (&netsim.Packet{Proto: netsim.ProtoUDP, Dst: dst, Pad: b.cfg.PayloadBytes}).Size()
-	case MethodSYN, MethodACK:
-		wireSize = (&netsim.Packet{Proto: netsim.ProtoTCP, Dst: dst, TCP: &netsim.TCPHeader{}}).Size()
-	default:
-		b.p.Logf("mirai: unknown method %q", cmd.Method)
-		return
+	var onStart func()
+	if b.cfg.OnAttackStart != nil {
+		hook, addr := b.cfg.OnAttackStart, b.p.Node().Addr4()
+		onStart = func() { hook(addr) }
 	}
-	f.interval = rate.TxTime(wireSize)
-
-	delay := sim.Time(0)
-	if b.cfg.StartJitter > 0 {
-		delay = sim.Time(b.p.RNG().Int63n(int64(b.cfg.StartJitter)))
-	}
-	start := b.p.Sched().Now() + delay
-	f.until = start + sim.Time(cmd.Duration)*sim.Second
-	b.flood = f
-	b.p.Sched().ScheduleAt(start, func() {
-		if !b.p.Alive() {
-			return
-		}
-		b.attacking = true
-		if b.cfg.OnAttackStart != nil {
-			b.cfg.OnAttackStart(b.p.Node().Addr4())
-		}
-		b.floodNext()
-	})
-}
-
-func (b *Bot) floodNext() {
-	f := b.flood
-	if f == nil || !b.p.Alive() || b.p.Sched().Now() >= f.until {
-		b.attacking = false
-		return
-	}
-	switch f.method {
-	case MethodUDPPlain:
-		f.sock.SendPadded(f.dst, nil, b.cfg.PayloadBytes)
-	case MethodSYN:
-		b.sendRawTCP(f.dst, netsim.FlagSYN)
-	case MethodACK:
-		b.sendRawTCP(f.dst, netsim.FlagACK)
-	}
-	f.sent++
-	b.p.Sched().Schedule(f.interval, b.floodNext)
-}
-
-// sendRawTCP injects a crafted header-only segment with a randomized
-// source port and sequence number — Mirai's syn/ack attack modules
-// bypass the OS stack the same way.
-func (b *Bot) sendRawTCP(dst netip.AddrPort, flags netsim.TCPFlags) {
-	node := b.p.Node()
-	src := node.Addr4()
-	if dst.Addr().Is6() {
-		src = node.Addr6()
-	}
-	rng := b.p.RNG()
-	pkt := node.AllocPacket()
-	pkt.UID = node.NextUID()
-	pkt.Proto = netsim.ProtoTCP
-	pkt.Src = netip.AddrPortFrom(src, uint16(1024+rng.Intn(64000)))
-	pkt.Dst = dst
-	pkt.SetTCP(flags, uint32(rng.Int63()), 0)
-	node.SendPacket(pkt)
+	b.flood.LaunchFor(cmd.Method, dst, cmd.Duration, b.cfg.StartJitter, onStart)
 }
 
 // String aids debugging.
 func (b *Bot) String() string {
-	return fmt.Sprintf("mirai-bot(connected=%v attacking=%v)", b.connected, b.attacking)
+	return fmt.Sprintf("mirai-bot(connected=%v attacking=%v)", b.connected, b.Attacking())
 }
