@@ -8,7 +8,7 @@
 //
 // Examples:
 //
-//	benchjson                 # write BENCH_killchain.json, BENCH_scheduler.json, BENCH_flood.json, BENCH_lint.json
+//	benchjson                 # write BENCH_killchain.json, BENCH_scheduler.json, BENCH_flood.json, BENCH_lint.json (+ _before pairs)
 //	benchjson -out results/   # write them elsewhere
 //	benchjson -devs 10,50,100 -seeds 3
 package main
@@ -148,10 +148,15 @@ func run() error {
 	}
 	// The lint suite analyzes the module's own source, so it only runs
 	// when benchjson is invoked from inside the repo; elsewhere the
-	// other suites still work.
-	if lintRows, err := benchLint(); err != nil {
+	// other suites still work. Like the flood suite it writes a
+	// before/after pair: _before times the suite without allocfree
+	// (the previous analyzer set), the main file carries the full
+	// suite plus one timing row per analyzer.
+	if lintBefore, lintAfter, err := benchLint(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: skipping lint suite: %v\n", err)
-	} else if err := writeSuite(*outDir, "BENCH_lint.json", "lint", lintRows); err != nil {
+	} else if err := writeSuite(*outDir, "BENCH_lint_before.json", "lint", lintBefore); err != nil {
+		return err
+	} else if err := writeSuite(*outDir, "BENCH_lint.json", "lint", lintAfter); err != nil {
 		return err
 	}
 	return nil
@@ -159,50 +164,83 @@ func run() error {
 
 // lintRow is one static-analysis measurement: the cost of loading and
 // type-checking the module vs the cost of the analyzers themselves
-// (the shard-confinement engine dominates the latter).
+// (the reachability engines — shard-confinement and
+// allocation-reachability — dominate the latter). A row with an empty
+// Analyzer times a whole suite; a named row times that analyzer run
+// standalone on a fresh engine, so engine-backed siblings (pktown and
+// stalecapture, shardconfine and crossnode) each carry their shared
+// engine's full cost rather than splitting it.
 type lintRow struct {
-	Packages      int     `json:"packages"`
+	Analyzer      string  `json:"analyzer,omitempty"`
+	Packages      int     `json:"packages,omitempty"`
 	Analyzers     int     `json:"analyzers"`
 	Diags         int     `json:"diags"`
-	InventoryRows int     `json:"inventory_rows"`
-	LoadMS        float64 `json:"load_ms"`
+	InventoryRows int     `json:"inventory_rows,omitempty"`
+	LoadMS        float64 `json:"load_ms,omitempty"`
 	AnalyzeMS     float64 `json:"analyze_ms"`
-	InventoryMS   float64 `json:"inventory_ms"`
+	InventoryMS   float64 `json:"inventory_ms,omitempty"`
 }
 
-// benchLint runs the full default suite over the whole module — the
-// same work `go run ./cmd/simlint ./...` does in CI — and the
-// inventory build on top of it.
-func benchLint() ([]lintRow, error) {
+// benchLint runs the default suite over the whole module — the same
+// work `go run ./cmd/simlint ./...` does in CI — plus the inventory
+// build and one standalone timing per analyzer. The before slice
+// times the suite with allocfree removed, pinning what the new
+// analyzer costs on top of the previous set.
+func benchLint() (before, after []lintRow, err error) {
 	l, err := lint.NewLoader(".")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	start := time.Now()
 	pkgs, err := l.LoadAll(".")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	loadMS := float64(time.Since(start).Microseconds()) / 1000
 
-	suite := lint.DefaultSuite()
-	start = time.Now()
-	diags := lint.Run(pkgs, suite)
-	analyzeMS := float64(time.Since(start).Microseconds()) / 1000
+	measure := func(suite []lint.Analyzer) (int, float64) {
+		start := time.Now()
+		diags := lint.Run(pkgs, suite)
+		return len(diags), float64(time.Since(start).Microseconds()) / 1000
+	}
 
+	full := lint.DefaultSuite()
+	nDiags, analyzeMS := measure(full)
 	start = time.Now()
 	inv := lint.BuildInventory(pkgs)
 	inventoryMS := float64(time.Since(start).Microseconds()) / 1000
 
-	return []lintRow{{
+	after = []lintRow{{
 		Packages:      len(pkgs),
-		Analyzers:     len(suite),
-		Diags:         len(diags),
+		Analyzers:     len(full),
+		Diags:         nDiags,
 		InventoryRows: len(inv),
 		LoadMS:        loadMS,
 		AnalyzeMS:     analyzeMS,
 		InventoryMS:   inventoryMS,
-	}}, nil
+	}}
+	// Per-analyzer rows: a fresh suite per measurement so memoized
+	// engine Prepares never subsidize a later row.
+	for i, a := range full {
+		n, ms := measure([]lint.Analyzer{lint.DefaultSuite()[i]})
+		after = append(after, lintRow{Analyzer: a.Name(), Analyzers: 1, Diags: n, AnalyzeMS: ms})
+	}
+
+	var legacy []lint.Analyzer
+	for _, a := range lint.DefaultSuite() {
+		if a.Name() != "allocfree" {
+			legacy = append(legacy, a)
+		}
+	}
+	n, ms := measure(legacy)
+	before = []lintRow{{
+		Packages:  len(pkgs),
+		Analyzers: len(legacy),
+		Diags:     n,
+		LoadMS:    loadMS,
+		AnalyzeMS: ms,
+	}}
+	return before, after, nil
 }
 
 // benchFlood measures the UDP flood send path — the hot loop behind

@@ -14,10 +14,11 @@
 // reports every //simlint:allow annotation that suppressed nothing —
 // the stale-suppression audit; it requires the full suite, since a
 // subset run cannot judge annotations it never exercised. -inventory
-// writes the shard-confinement access inventory — every shared-state
-// site reachable from a scheduler callback, classed as violation,
-// allowed, or boundary, with its reachability chain — as JSON to the
-// given path ("-" for stdout).
+// writes the analysis inventory — every shared-state site reachable
+// from a scheduler callback and every allocation site reachable from
+// a declared hot path (//simlint:hotpath or a seeded root), classed
+// as violation, allowed, boundary, barrier, or hotpath, with its
+// reachability chain — as JSON to the given path ("-" for stdout).
 // Diagnostics print as "file:line:col analyzer: message" with paths
 // relative to the module root, in a stable total order —
 // (file, line, col, analyzer, message) — in both text and -json

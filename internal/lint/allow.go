@@ -25,6 +25,19 @@ import (
 // suppressions cannot linger after the code they excused is gone.
 var allowRe = regexp.MustCompile(`^//simlint:allow\s+([a-z][a-z0-9]*(?:\s*,\s*[a-z][a-z0-9]*)*)\s*\((.*)\)\s*$`)
 
+// Hot-path annotation grammar:
+//
+//	//simlint:hotpath
+//
+// placed in a function declaration's doc comment, declares that
+// function an allocation-free hot-path root for the allocfree
+// analyzer (allocfree.go): every allocation site reachable from it
+// is reported with its call chain. The directive takes no arguments
+// — a trailing payload is a malformed annotation, and a hotpath
+// directive that is not part of a function's doc comment is an
+// allocfree finding of its own (it roots nothing).
+var hotpathRe = regexp.MustCompile(`^//simlint:hotpath$`)
+
 // allowEntry is one parsed annotation with per-analyzer usage marks.
 type allowEntry struct {
 	file      string // relative path, for reporting
@@ -72,6 +85,11 @@ func collectAllows(pkg *Package, diags *[]Diagnostic) allowIndex {
 				if !strings.HasPrefix(text, "//simlint:") {
 					continue
 				}
+				if hotpathRe.MatchString(text) {
+					// Well-formed hot-path root declaration; consumed by
+					// the allocfree engine, not an allow.
+					continue
+				}
 				pos := pkg.Fset.Position(c.Pos())
 				bad := func(msg string) {
 					*diags = append(*diags, Diagnostic{
@@ -81,7 +99,7 @@ func collectAllows(pkg *Package, diags *[]Diagnostic) allowIndex {
 				}
 				m := allowRe.FindStringSubmatch(text)
 				if m == nil {
-					bad("malformed simlint:allow annotation; want //simlint:allow analyzer(reason)")
+					bad("malformed simlint: directive; want //simlint:allow analyzer(reason) or //simlint:hotpath")
 					continue
 				}
 				if strings.TrimSpace(m[2]) == "" {

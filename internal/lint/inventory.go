@@ -9,7 +9,11 @@ package lint
 // "boundary" rows are the sanctioned message-path crossings the
 // partitioned kernel carries as timestamped messages, and "barrier"
 // rows are control-plane mutations that execute with every shard
-// worker parked (ShardSet.WithLP / Scheduler.Barrier bodies).
+// worker parked (ShardSet.WithLP / Scheduler.Barrier bodies). The
+// allocation-reachability engine (allocfree.go) contributes rows of
+// its own: "hotpath" rows name the declared allocation-free roots
+// (seeded or //simlint:hotpath), and its violation/allowed rows are
+// the allocation sites reachable from them.
 
 import (
 	"go/token"
@@ -27,9 +31,10 @@ type InventoryEntry struct {
 	Analyzer string `json:"analyzer,omitempty"`
 	// Class: "violation" (surfaces as a diagnostic), "allowed"
 	// (suppressed by an audited //simlint:allow), "boundary" (a
-	// sanctioned message-path call), or "barrier" (a partition
+	// sanctioned message-path call), "barrier" (a partition
 	// mutation inside a ShardSet.WithLP / Scheduler.Barrier body —
-	// world-stopped, sanctioned).
+	// world-stopped, sanctioned), or "hotpath" (a declared
+	// allocation-free root of the allocfree engine).
 	Class string `json:"class"`
 	// Subject is the state touched: a type for partition state, a
 	// variable name for globals.
@@ -63,14 +68,17 @@ func (eng *confEngine) addInventory(u *confUnit, pos token.Pos, analyzer, class,
 // golden artifact.
 func BuildInventory(pkgs []*Package) []InventoryEntry {
 	shardconfine, crossnode := NewShardConfinement()
-	diags := Run(pkgs, []Analyzer{shardconfine, crossnode})
+	allocfree := NewAllocFree()
+	diags := Run(pkgs, []Analyzer{shardconfine, crossnode, allocfree})
 	surviving := make(map[string]bool, len(diags))
 	for _, d := range diags {
 		surviving[invKey(d.File, d.Line, d.Col, d.Analyzer)] = true
 	}
 	eng := shardconfine.(*confAnalyzer).eng
-	entries := make([]InventoryEntry, len(eng.inventory))
-	copy(entries, eng.inventory)
+	aeng := allocfree.(*allocAnalyzer).eng
+	entries := make([]InventoryEntry, 0, len(eng.inventory)+len(aeng.g.inventory))
+	entries = append(entries, eng.inventory...)
+	entries = append(entries, aeng.g.inventory...)
 	for i := range entries {
 		e := &entries[i]
 		if e.Class == "violation" && !surviving[invKey(e.File, e.Line, e.Col, e.Analyzer)] {

@@ -170,7 +170,7 @@ func RunWith(pkgs []*Package, analyzers []Analyzer, opts RunOpts) []Diagnostic {
 	return diags
 }
 
-// DefaultSuite returns the eight analyzers with DDoSim's repo policy
+// DefaultSuite returns the nine analyzers with DDoSim's repo policy
 // baked in.
 func DefaultSuite() []Analyzer {
 	pktown, stalecapture := NewOwnership()
@@ -184,6 +184,7 @@ func DefaultSuite() []Analyzer {
 		stalecapture,
 		shardconfine,
 		crossnode,
+		NewAllocFree(),
 	}
 }
 

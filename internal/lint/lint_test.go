@@ -267,16 +267,19 @@ func TestInventory(t *testing.T) {
 	pkgs := []*Package{
 		loadFixture(t, l, "shardconfine/confined"),
 		loadFixture(t, l, "crossnode/crossmut"),
+		loadFixture(t, l, "allocfree/hotalloc"),
 	}
 	inv := BuildInventory(pkgs)
-	var violations, allowed int
+	var violations, allowed, hotpaths int
 	for _, e := range inv {
 		switch e.Class {
 		case "violation":
 			violations++
 		case "allowed":
 			allowed++
-		case "boundary":
+		case "hotpath":
+			hotpaths++
+		case "boundary", "barrier":
 		default:
 			t.Errorf("unknown inventory class %q in %+v", e.Class, e)
 		}
@@ -290,10 +293,99 @@ func TestInventory(t *testing.T) {
 	if allowed != 1 {
 		t.Errorf("want exactly the Audited suppression as allowed, got %d", allowed)
 	}
+	if hotpaths != 2 {
+		t.Errorf("want the fixture's two //simlint:hotpath roots as hotpath rows, got %d", hotpaths)
+	}
 	for i := 1; i < len(inv); i++ {
 		a, b := inv[i-1], inv[i]
 		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
 			t.Errorf("inventory out of order at %d: %+v before %+v", i, a, b)
 		}
+	}
+}
+
+// allocfreeSuite returns a fresh allocfree analyzer; like the other
+// engine-backed analyzers it memoizes Prepare, so each Run gets its
+// own instance.
+func allocfreeSuite() []Analyzer {
+	return []Analyzer{NewAllocFree()}
+}
+
+// TestAllocFreeHotAlloc pins the deliberate hot-path allocation — the
+// same per-event closure internal/sim/allocsentinel_test.go executes
+// under -tags simdebug — to its exact file:line, mirroring
+// TestPktOwnUAF's one-bug-two-catchers contract. The pre-bound
+// BoundPump.Tick in the same fixture must stay silent.
+func TestAllocFreeHotAlloc(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "allocfree/hotalloc")
+	diags := Run([]*Package{pkg}, allocfreeSuite())
+	checkGolden(t, "allocfree_hotalloc", []*Package{pkg}, allocfreeSuite())
+	if len(diags) != 1 || diags[0].Analyzer != "allocfree" ||
+		diags[0].File != "internal/lint/testdata/allocfree/hotalloc/hotalloc.go" ||
+		diags[0].Line != 22 {
+		t.Fatalf("want exactly one allocfree finding at hotalloc.go:22, got %v", diags)
+	}
+}
+
+// TestAllocFreeGrammar covers the hotpath grammar edges: a floating
+// directive roots nothing and says so, trailing junk is a malformed
+// directive, and a comma-separated allow list naming allocfree
+// alongside another analyzer suppresses the finding.
+func TestAllocFreeGrammar(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "allocfree/hotgrammar")
+	checkGolden(t, "allocfree_grammar", []*Package{pkg}, allocfreeSuite())
+}
+
+// TestUnusedAllocAllows covers the -unused-allows audit for the new
+// analyzer: the live suppression on the hot make is consumed, the
+// stale one on the cold path is reported.
+func TestUnusedAllocAllows(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "allowlist/unusedalloc")
+	diags := RunWith([]*Package{pkg}, allocfreeSuite(), RunOpts{UnusedAllows: true})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic (the stale allow), got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "allow" || !strings.Contains(d.Message, "unused simlint:allow allocfree") {
+		t.Fatalf("want an unused-allow report for the stale annotation, got %v", d)
+	}
+	if d.File != "internal/lint/testdata/allowlist/unusedalloc/unusedalloc.go" || d.Line != 19 {
+		t.Fatalf("unused-allow report at wrong site: %v", d)
+	}
+}
+
+// TestAllocSummaryFixpoint exercises the interprocedural allocSummary
+// lattice directly: own sites seed allocating facts, the fixpoint
+// propagates them through in-module calls, and seeding a pooled
+// constructor in AllocConfig.AllocFree pins it — and everything built
+// on it — alloc-free.
+func TestAllocSummaryFixpoint(t *testing.T) {
+	const pkgpath = "ddosim/internal/lint/testdata/allocfree/hotalloc"
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "allocfree/hotalloc")
+
+	eng := newAllocEngine(DefaultAllocConfig(), DefaultConfineConfig())
+	eng.prepare([]*Package{pkg})
+	for _, key := range []string{pkgpath + ".Pool.Get", pkgpath + ".FromPool", pkgpath + ".Pump"} {
+		if s, ok := eng.summaryFor(key); !ok || !s.allocates {
+			t.Errorf("%s: want allocating summary, got %+v (found=%v)", key, s, ok)
+		}
+	}
+	if s, ok := eng.summaryFor(pkgpath + ".BoundPump.Tick"); !ok || s.allocates {
+		t.Errorf("BoundPump.Tick: want alloc-free summary, got %+v (found=%v)", s, ok)
+	}
+
+	cfg := DefaultAllocConfig()
+	cfg.AllocFree[pkgpath+".Pool.Get"] = true
+	sanctioned := newAllocEngine(cfg, DefaultConfineConfig())
+	sanctioned.prepare([]*Package{pkg})
+	if s, ok := sanctioned.summaryFor(pkgpath + ".Pool.Get"); !ok || s.allocates {
+		t.Errorf("sanctioned Pool.Get: want pinned alloc-free summary, got %+v (found=%v)", s, ok)
+	}
+	if s, ok := sanctioned.summaryFor(pkgpath + ".FromPool"); !ok || s.allocates {
+		t.Errorf("FromPool over the sanctioned pool: want alloc-free summary, got %+v (found=%v)", s, ok)
 	}
 }

@@ -1,0 +1,34 @@
+// Package hotgrammar exercises the edges of the hotpath/allow
+// grammar: a floating directive that roots nothing, a malformed
+// directive with trailing junk, and a comma-separated allow list that
+// names allocfree alongside another analyzer.
+package hotgrammar
+
+import "ddosim/internal/sim"
+
+// Multi allocates behind a shared suppression: the comma list names
+// both allocfree and pktown, so the allocfree finding on the make is
+// consumed here and pktown would consume the same entry in its run.
+//
+//simlint:hotpath
+func Multi(s *sim.Scheduler, n *int) {
+	*n++
+	b := make([]byte, 4) //simlint:allow allocfree,pktown(fixture: one audited suppression shared across analyzers)
+	_ = b
+}
+
+// Floating holds a directive inside a body instead of a doc comment;
+// it roots nothing and must be reported saying so.
+func Floating() int {
+	//simlint:hotpath
+	return 0
+}
+
+// NotARoot's directive has trailing junk, so it is not a hotpath
+// directive at all — the allow scanner reports it as malformed and
+// the function stays cold.
+//
+//simlint:hotpath(extra junk)
+func NotARoot() []byte {
+	return make([]byte, 4)
+}

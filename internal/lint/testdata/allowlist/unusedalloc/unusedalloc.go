@@ -1,0 +1,20 @@
+// Package unusedalloc carries one live and one stale allocfree
+// suppression for the -unused-allows audit: the annotation on the hot
+// make consumes a finding, the one on the cold path suppresses
+// nothing and must be reported.
+package unusedalloc
+
+// Hot allocates on a declared hot path behind an audited allow; the
+// audit must treat that annotation as used.
+//
+//simlint:hotpath
+func Hot(n *int) {
+	*n++
+	_ = make([]byte, 8) //simlint:allow allocfree(fixture: deliberate hot allocation, suppressed)
+}
+
+// Cold is never reached from a hot root, so its annotation suppresses
+// nothing and the audit must flag it as stale.
+func Cold() []byte {
+	return make([]byte, 8) //simlint:allow allocfree(fixture: stale suppression on a cold path)
+}

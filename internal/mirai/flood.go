@@ -34,6 +34,11 @@ type Flooder struct {
 	attacking bool
 	gen       int
 	sent      uint64
+
+	// tickFn is the re-arm callback, bound once per launch so the
+	// per-packet Schedule call in tick allocates nothing (the flood
+	// loop is a declared hot path; see //simlint:hotpath on tick).
+	tickFn func()
 }
 
 // NewFlooder builds the engine for p. payloadBytes sizes the UDP-PLAIN
@@ -121,6 +126,7 @@ func (f *Flooder) launch(method string, dst netip.AddrPort, jitter sim.Time, onS
 	start := f.p.Sched().Now() + delay
 	f.until = untilAt(start)
 	gen := f.gen
+	f.tickFn = func() { f.tick(gen) }
 	f.p.Sched().ScheduleAt(start, func() {
 		if gen != f.gen || !f.p.Alive() {
 			return
@@ -135,7 +141,12 @@ func (f *Flooder) launch(method string, dst netip.AddrPort, jitter sim.Time, onS
 }
 
 // tick emits one flood packet and re-arms, pacing the loop at the
-// device line rate until the order expires or is superseded.
+// device line rate until the order expires or is superseded. This is
+// the shared flood engine's per-packet loop — the path both botnet
+// families pace at line rate — so it re-arms through the pre-bound
+// tickFn instead of a fresh closure.
+//
+//simlint:hotpath
 func (f *Flooder) tick(gen int) {
 	if gen != f.gen {
 		return
@@ -153,7 +164,7 @@ func (f *Flooder) tick(gen int) {
 		f.sendRawTCP(f.dst, netsim.FlagACK)
 	}
 	f.sent++
-	f.p.Sched().Schedule(f.interval, func() { f.tick(gen) })
+	f.p.Sched().Schedule(f.interval, f.tickFn)
 }
 
 // sendRawTCP injects a crafted header-only segment with a randomized

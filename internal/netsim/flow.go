@@ -318,7 +318,10 @@ func (ft *FlowTable) labelFor(k FlowKey) string {
 
 // record accounts one originated packet. This is the hot path: for an
 // established flow it is a map lookup plus a handful of field updates,
-// with no allocation.
+// with no allocation; only a never-seen flow key pays the slab/index
+// inserts below, bounded by MaxFlows.
+//
+//simlint:hotpath
 func (ft *FlowTable) record(pkt *Packet, now sim.Time) {
 	k := FlowKey{Src: pkt.Src, Dst: pkt.Dst, Proto: pkt.Proto}
 	if i, ok := ft.idx[k]; ok {
@@ -348,7 +351,7 @@ func (ft *FlowTable) record(pkt *Packet, now sim.Time) {
 		i = ft.freeList[n-1]
 		ft.freeList = ft.freeList[:n-1]
 	} else {
-		ft.entries = append(ft.entries, flowEntry{})
+		ft.entries = append(ft.entries, flowEntry{}) //simlint:allow allocfree(first sighting of a flow key only; steady state reuses freeList slots and the slab is bounded by MaxFlows)
 		i = int32(len(ft.entries) - 1)
 	}
 	e := &ft.entries[i]
@@ -361,7 +364,7 @@ func (ft *FlowTable) record(pkt *Packet, now sim.Time) {
 	}
 	e.label = ft.labelFor(k)
 	e.live = true
-	ft.idx[k] = i
+	ft.idx[k] = i //simlint:allow allocfree(index insert and order append run once per new flow key, bounded by MaxFlows; the established-flow path above returns before them)
 	ft.order = append(ft.order, i)
 	ft.stats.Created++
 }
@@ -388,6 +391,7 @@ func (ft *FlowTable) evictOldest() {
 // export appends one record for entry e ending at end and flushes the
 // batch when full.
 func (ft *FlowTable) export(e *flowEntry, end sim.Time, reason string) {
+	//simlint:allow allocfree(batch is reused across flushes; it grows to the configured batch size once and then appends into spare capacity)
 	ft.batch = append(ft.batch, obs.FlowRecord{
 		StartUS:  int64(e.start / sim.Microsecond),
 		EndUS:    int64(end / sim.Microsecond),

@@ -171,6 +171,8 @@ func (n *Node) attach(d *NetDevice) {
 // SendPacket routes a locally-originated packet: delivered in place when
 // addressed to this node, otherwise queued on the route's device.
 // SendPacket takes ownership of pkt (see Packet).
+//
+//simlint:hotpath
 func (n *Node) SendPacket(pkt *Packet) {
 	pkt.sanCheck("Node.SendPacket")
 	if ft := n.flowTable(); ft != nil {
@@ -185,7 +187,9 @@ func (n *Node) SendPacket(pkt *Packet) {
 		// borrow as the analyzer must assume for parameters), the event
 		// cannot be cancelled, and the callback itself releases the
 		// packet — audited 2026-08: ownership moves into the callback.
-		//simlint:allow stalecapture(SendPacket owns pkt and transfers it into the uncancellable loopback event, which releases it)
+		// The closure allocation is loopback-only: the flood hot path
+		// egresses through dev.Send below and never takes this branch.
+		//simlint:allow stalecapture,allocfree(SendPacket owns pkt and transfers it into the uncancellable loopback event, which releases it; self-addressed traffic only, off the device-tx flood path)
 		n.sched.Schedule(sim.Microsecond, func() {
 			prev := confineEnter(n)
 			defer confineExit(n, prev)
@@ -214,6 +218,8 @@ func (n *Node) lookupRoute(dst netip.Addr) *NetDevice {
 // either handed on to an egress device (forwarding) or freed here after
 // its terminal delivery or drop. While it runs, this node is the
 // executing partition for the simdebug confinement sanitizer.
+//
+//simlint:hotpath
 func (n *Node) handleReceive(in *NetDevice, pkt *Packet) {
 	prev := confineEnter(n)
 	defer confineExit(n, prev)

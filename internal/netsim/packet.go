@@ -22,6 +22,7 @@ func (p Protocol) String() string {
 	case ProtoTCP:
 		return "tcp"
 	default:
+		//simlint:allow allocfree(unknown-protocol fallback only; ProtoUDP/ProtoTCP — the only values the simulator emits — return interned literals above)
 		return fmt.Sprintf("proto(%d)", uint8(p))
 	}
 }

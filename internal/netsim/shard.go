@@ -182,6 +182,7 @@ func (n *Node) countDrop(reason string) {
 		// Guarded even though Tracer is nil-safe: building the variadic
 		// args slice costs an allocation per drop, which an untraced
 		// flood run should not pay.
+		//simlint:allow allocfree(variadic KV slice is built only when tracing is enabled; the nil-tracer guard keeps untraced runs allocation-free)
 		tr.Event(n.sched.Now(), obs.CatNet, "queue-drop",
 			obs.KV{K: "node", V: n.name}, obs.KV{K: "reason", V: reason})
 	}

@@ -59,7 +59,7 @@ func newTCPHost(n *Node) *tcpHost {
 // addConn registers a connection in the demux table, keeping the
 // local-endpoint refcount in step.
 func (h *tcpHost) addConn(c *TCPConn) {
-	h.conns[c.key] = c
+	h.conns[c.key] = c //simlint:allow allocfree(demux-table insert runs once per accepted connection, not per segment; the SYN-flood path answers with a pooled RST and never registers a conn)
 	h.localPorts[c.key.local]++
 }
 
@@ -73,7 +73,7 @@ func (h *tcpHost) removeConn(c *TCPConn) {
 	if h.localPorts[c.key.local] <= 1 {
 		delete(h.localPorts, c.key.local)
 	} else {
-		h.localPorts[c.key.local]--
+		h.localPorts[c.key.local]-- //simlint:allow allocfree(decrement of an existing key on per-connection teardown; never grows the map and never runs per segment)
 	}
 }
 
@@ -141,8 +141,11 @@ type TCPConn struct {
 	rcvNxt       uint32
 	remoteFinned bool
 
-	// Timers.
+	// Timers. rtoFn is the retransmission callback bound once on first
+	// arm so that re-arming — a per-segment operation on the send path
+	// — never allocates a fresh method-value closure.
 	rtoEvent sim.EventID
+	rtoFn    func()
 	rtoArmed bool
 	retries  int
 
@@ -276,7 +279,7 @@ func (c *TCPConn) trySend() {
 			if uint32(n) > window-inFlight {
 				n = int(window - inFlight)
 			}
-			seg := make([]byte, n)
+			seg := make([]byte, n) //simlint:allow allocfree(per-segment payload copy of the stream path; flood traffic crafts header-only segments and bypasses trySend entirely)
 			copy(seg, c.sendBuf[sent:sent+n])
 			c.sendSegment(FlagACK, c.sndNxt, c.rcvNxt, seg)
 			c.sndNxt += uint32(n)
@@ -299,9 +302,12 @@ func (c *TCPConn) armRTO() {
 	if c.rtoArmed {
 		return
 	}
+	if c.rtoFn == nil {
+		c.rtoFn = c.onRTO //simlint:allow allocfree(RTO callback binds once per connection on first arm, then every re-arm reuses it)
+	}
 	c.rtoArmed = true
 	backoff := sim.Time(1) << uint(c.retries)
-	c.rtoEvent = c.sched.Schedule(tcpRTO*backoff, c.onRTO)
+	c.rtoEvent = c.sched.Schedule(tcpRTO*backoff, c.rtoFn)
 }
 
 func (c *TCPConn) cancelRTO() {
@@ -410,6 +416,7 @@ func (h *tcpHost) sendRST(in *Packet) {
 }
 
 func (h *tcpHost) acceptSyn(l *TCPListener, pkt *Packet) {
+	//simlint:allow allocfree(connection setup allocates once per accepted conn behind a listener; orphan SYNs — the flood case — take the pooled sendRST path instead)
 	c := &TCPConn{
 		host:  h,
 		sched: h.node.sched,
@@ -420,6 +427,7 @@ func (h *tcpHost) acceptSyn(l *TCPListener, pkt *Packet) {
 	c.sndUna, c.sndNxt = iss, iss+1
 	c.rcvNxt = pkt.TCP.Seq + 1
 	h.addConn(c)
+	//simlint:allow allocfree(accept callback is bound once per accepted connection during setup, not on the per-segment path)
 	c.onDial = func(conn *TCPConn, err error) {
 		if err == nil {
 			l.accept(conn)

@@ -66,7 +66,7 @@ func (b *FlowBuffer) ExportFlows(batch []FlowRecord) {
 	if b == nil {
 		return
 	}
-	b.recs = append(b.recs, batch...)
+	b.recs = append(b.recs, batch...) //simlint:allow allocfree(dataset sink: amortized growth once per flushed batch, not per packet; record hits between flushes touch only the flow table)
 	b.batches++
 }
 

@@ -1,0 +1,21 @@
+//go:build !simdebug
+
+package sim
+
+// Release build: the allocation sentinel is disarmed. AllocSentinel
+// still runs fn — callers may rely on its side effects — but reports
+// zero without touching runtime.ReadMemStats, whose stop-the-world
+// reads have no place in a release binary.
+//
+// Build with -tags simdebug to arm the sentinel (allocsentinel_on.go)
+// and have it report the true MemStats.Mallocs delta. The allocfree
+// static analyzer (internal/lint) enforces the same contract at
+// compile time; the sentinel cross-validates it at runtime.
+func AllocSentinel(fn func()) uint64 {
+	fn()
+	return 0
+}
+
+// SentinelEnabled reports whether this binary carries the simdebug
+// allocation sentinel.
+func SentinelEnabled() bool { return false }

@@ -1,0 +1,31 @@
+//go:build simdebug
+
+package sim
+
+import "runtime"
+
+// AllocSentinel is the runtime half of the zero-alloc hot-path
+// contract: it reports the exact number of heap allocations fn
+// performs. The allocfree static analyzer (internal/lint) proves
+// allocation-freedom over the call graph at compile time; the
+// sentinel cross-validates it against what the runtime actually did,
+// catching the dynamic cases the analyzer deliberately stays silent
+// on (calls through stored func values, third-party code).
+//
+// The count comes from the MemStats.Mallocs delta around fn with a GC
+// forced first, so a concurrent sweep cannot attribute its own
+// bookkeeping to fn. Callers measuring steady state should warm their
+// pools and slabs before handing fn to the sentinel.
+func AllocSentinel(fn func()) uint64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// SentinelEnabled reports whether this binary carries the simdebug
+// allocation sentinel.
+func SentinelEnabled() bool { return true }

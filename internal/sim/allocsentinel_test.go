@@ -1,0 +1,66 @@
+//go:build simdebug
+
+package sim_test
+
+import (
+	"testing"
+
+	hotalloc "ddosim/internal/lint/testdata/allocfree/hotalloc"
+	"ddosim/internal/sim"
+)
+
+// These tests are the runtime half of the one-bug-two-catchers
+// contract: internal/lint's TestAllocFreeHotAlloc pins the hotalloc
+// fixture's per-event closure to its exact file:line statically, and
+// the armed sentinel catches the same pattern — and clears the
+// pre-bound fix — by counting what the runtime actually allocated.
+
+func TestAllocSentinelCatchesHotPump(t *testing.T) {
+	if !sim.SentinelEnabled() {
+		t.Fatal("simdebug build without an armed sentinel")
+	}
+	const events = 1000
+	s := sim.NewScheduler(1)
+	budget := events
+	hotalloc.Pump(s, &budget)
+	allocs := sim.AllocSentinel(func() {
+		if err := s.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if budget != 0 {
+		t.Fatalf("pump did not drain: budget %d", budget)
+	}
+	// Every event allocates at least its capturing closure; the bound
+	// is slack (events/2) only to stay independent of scheduler slab
+	// warm-up accounting.
+	if allocs < events/2 {
+		t.Fatalf("allocating pump showed only %d allocations over %d events; sentinel is blind", allocs, events)
+	}
+}
+
+func TestAllocSentinelClearsBoundPump(t *testing.T) {
+	const events = 512
+	s := sim.NewScheduler(1)
+	// Warm pass: grows the scheduler's slot slab and queue to steady
+	// state so the measured pass exercises only the hot loop.
+	warm := hotalloc.NewBoundPump(s, events)
+	warm.Start()
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := hotalloc.NewBoundPump(s, events)
+	p.Start()
+	allocs := sim.AllocSentinel(func() {
+		if err := s.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !p.Done() {
+		t.Fatal("pump did not drain")
+	}
+	if allocs != 0 {
+		t.Fatalf("pre-bound pump allocated %d times at steady state; want 0", allocs)
+	}
+}

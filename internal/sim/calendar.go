@@ -38,7 +38,7 @@ func newCalendarQueue() *calendarQueue {
 // setShape installs a bucket count and day width and re-anchors the
 // search state at time start.
 func (c *calendarQueue) setShape(n int, width Time, start Time) {
-	c.buckets = make([][]Item, n)
+	c.buckets = make([][]Item, n) //simlint:allow allocfree(bucket-array rebuild happens only on calendar resize, which doubles — amortized O(1) per event)
 	c.width = width
 	c.lastAt = start
 	c.lastBucket = int((start / width) % Time(n))
@@ -68,7 +68,7 @@ func (c *calendarQueue) Push(it Item) {
 // times, which land at or near the end.
 func (c *calendarQueue) insert(it Item) {
 	i := int((it.At / c.width) % Time(len(c.buckets)))
-	b := append(c.buckets[i], it)
+	b := append(c.buckets[i], it) //simlint:allow allocfree(day-bucket growth is amortized; buckets keep their capacity across days and stop growing once warmed)
 	j := len(b) - 1
 	for j > 0 && itemLess(it, b[j-1]) {
 		b[j] = b[j-1]

@@ -100,7 +100,7 @@ func (q *heapQueue) Peek() (Item, bool) {
 }
 
 func (q *heapQueue) Push(it Item) {
-	q.a = append(q.a, it)
+	q.a = append(q.a, it) //simlint:allow allocfree(heap slab doubling is amortized O(1) per event; a warmed queue pushes into spare capacity)
 	i := len(q.a) - 1
 	for i > 0 {
 		p := (i - 1) >> 2

@@ -215,7 +215,7 @@ func (s *Scheduler) ScheduleAtSrc(at Time, src string, fn func()) EventID {
 		idx = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
-		s.slots = append(s.slots, slot{gen: 1})
+		s.slots = append(s.slots, slot{gen: 1}) //simlint:allow allocfree(slab growth only when the free list is empty; steady state pops recycled slots and never allocates)
 		idx = uint32(len(s.slots) - 1)
 	}
 	sl := &s.slots[idx]
@@ -242,7 +242,7 @@ func (s *Scheduler) scheduleMsg(at Time, dst *LP, h MsgHandler, a, b any) {
 		idx = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
-		s.slots = append(s.slots, slot{gen: 1})
+		s.slots = append(s.slots, slot{gen: 1}) //simlint:allow allocfree(slab growth only when the free list is empty; steady state pops recycled slots and never allocates)
 		idx = uint32(len(s.slots) - 1)
 	}
 	sl := &s.slots[idx]
@@ -302,7 +302,7 @@ func (s *Scheduler) releaseSlot(idx uint32, sl *slot) {
 	if sl.gen == 0 {
 		sl.gen = 1
 	}
-	s.free = append(s.free, idx)
+	s.free = append(s.free, idx) //simlint:allow allocfree(free-list capacity tracks the slot slab, so the push reuses spare capacity at steady state)
 }
 
 // refLive reports whether a queue entry still refers to its slot's
@@ -325,7 +325,7 @@ func (s *Scheduler) compact() {
 			break
 		}
 		if s.refLive(it.Ref) {
-			s.scratch = append(s.scratch, it)
+			s.scratch = append(s.scratch, it) //simlint:allow allocfree(compact is the rare cancellation sweep; scratch is reused across sweeps and grows at most to the live queue length)
 		}
 	}
 	for _, it := range s.scratch {
@@ -360,6 +360,7 @@ func (s *Scheduler) RunAll() error {
 
 func (s *Scheduler) run(until Time) error {
 	s.stopped = false
+	//simlint:allow allocfree(the deferred reset closure is built once per Run invocation, not per event)
 	defer func() { s.curLP = nil }() // no attribution leaks out of the loop
 	for s.q.Len() > 0 {
 		if s.stopped {
